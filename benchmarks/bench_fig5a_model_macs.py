@@ -1,0 +1,40 @@
+"""Fig. 5a — computational load (MACs) of dynamical models.
+
+The paper shows the spectral Koopman approach requiring the fewest
+multiply-accumulate operations for control and prediction among MLP,
+dense-Koopman, Transformer, and recurrent dynamics models.  MACs are
+analytic (architecture-derived), evaluated at a shared latent dimension
+since every model consumes the same visual encoder's embedding.
+"""
+
+import pytest
+
+from repro.koopman import fig5a_macs
+
+from bench_utils import print_table, save_result
+
+
+def run_fig5a(latent_dim: int = 16, action_dim: int = 1) -> dict:
+    return fig5a_macs(latent_dim=latent_dim, action_dim=action_dim)
+
+
+def test_fig5a_model_macs(benchmark):
+    result = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+    order = sorted(result, key=lambda k: result[k]["total"])
+    print_table(
+        "Fig. 5a — MACs for control + prediction per step "
+        "(paper: spectral Koopman fewest, Transformer most)",
+        ["Model", "Prediction MACs", "Control MACs", "Total"],
+        [[name, result[name]["prediction"], result[name]["control"],
+          result[name]["total"]] for name in order])
+    save_result("fig5a_model_macs", result)
+
+    totals = {k: v["total"] for k, v in result.items()}
+    # The paper's ordering.
+    assert min(totals, key=totals.get) == "spectral_koopman"
+    assert max(totals, key=totals.get) == "transformer"
+    assert totals["dense_koopman"] < totals["mlp"]
+    assert totals["recurrent"] < totals["transformer"]
+    # And the headline gap: orders of magnitude between the spectral
+    # core and the sampled-MPC nonlinear families.
+    assert totals["spectral_koopman"] * 1000 < totals["mlp"]

@@ -1,0 +1,51 @@
+"""Sec. V (text) — STARNet anomaly-detection AUC per corruption family.
+
+Paper values (LiDAR-only): crosstalk 0.9658, cross-sensor interference
+0.9938, AUC above 0.90 across natural corruptions, external disruptions,
+and internal sensor failures — *without training on any fault type*.
+
+This bench runs the full protocol on the synthetic corruption suite at a
+moderate severity and asserts the paper's band: every family detectable
+(AUC >= 0.85), internal sensor failures near-perfect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.starnet import AUCExperimentConfig, run_auc_experiment
+
+from bench_utils import print_table, save_result
+
+PAPER_REFERENCE = {
+    "crosstalk": 0.9658,
+    "cross_sensor": 0.9938,
+}
+
+
+def run_auc(seed: int = 0) -> dict:
+    config = AUCExperimentConfig(n_fit_scans=28, n_test_scans=14,
+                                 severity=0.45, spsa_steps=30,
+                                 vae_epochs=40, seed=seed)
+    return run_auc_experiment(config)
+
+
+def test_starnet_auc(benchmark):
+    result = benchmark.pedantic(run_auc, rounds=1, iterations=1)
+    rows = []
+    for name, auc in sorted(result.items(), key=lambda kv: -kv[1]):
+        paper = PAPER_REFERENCE.get(name)
+        rows.append([name, f"{auc:.4f}",
+                     f"{paper:.4f}" if paper else "> 0.90 (band)"])
+    print_table(
+        "STARNet LiDAR-only anomaly detection AUC by corruption "
+        "(likelihood regret via SPSA; no training on faults)",
+        ["Corruption", "AUC (ours)", "AUC (paper)"], rows)
+    save_result("starnet_auc", result)
+
+    assert set(result) == {"snow", "rain", "fog", "beam_missing",
+                           "motion_blur", "crosstalk", "cross_sensor"}
+    for name, auc in result.items():
+        assert auc >= 0.85, (name, auc)
+    # Internal sensor failures: the paper's strongest detections.
+    assert result["crosstalk"] >= 0.9
+    assert result["cross_sensor"] >= 0.9

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-agent demo (Sec. VII): a heterogeneous federated fleet + swarm.
+
+Runs federated training across a device fleet spanning workstation to
+MCU, with DC-NAS channel pruning and HaLo-FL precision selection, then
+shows the coordinated-swarm energy reduction and edge-cloud speculative
+decoding.
+
+Run:  python examples/federated_edge_fleet.py
+"""
+
+import numpy as np
+
+from repro.federated import (FLClient, FLServer, NGramLM, make_fleet,
+                             speculative_decode)
+from repro.multiagent import compare_swarm_strategies
+from repro.sim import make_synthetic_cifar, shard_dirichlet
+
+
+def main() -> None:
+    print("1. Federated learning over a heterogeneous fleet:")
+    ds = make_synthetic_cifar(n_per_class=40, seed=0)
+    train, test = ds.split(0.25, np.random.default_rng(1))
+    shards = shard_dirichlet(train, 6, alpha=0.7,
+                             rng=np.random.default_rng(2))
+    fleet = make_fleet(6, rng=np.random.default_rng(3))
+    print("   fleet:", ", ".join(p.name for p in fleet))
+
+    baseline_energy = None
+    for mode in ("fedavg", "dcnas", "halo", "dcnas+halo"):
+        clients = [FLClient(i, s, p, rng=np.random.default_rng(10 + i))
+                   for i, (s, p) in enumerate(zip(shards, fleet))]
+        server = FLServer(clients, test, hidden=32, mode=mode,
+                          rng=np.random.default_rng(4))
+        server.run(8)
+        t = server.totals()
+        if baseline_energy is None:
+            baseline_energy = t["energy_mj"]
+        last = server.history[-1]
+        print(f"   {mode:12s} acc={t['final_accuracy']:.3f} "
+              f"energy x{baseline_energy / t['energy_mj']:5.2f} lower  "
+              f"widths={last.client_hidden}  bits={last.client_bits}")
+
+    print("\n2. Coordinated swarm sensing (conclusion's ~3x claim):")
+    res = compare_swarm_strategies(steps=40, seed=5)
+    un, co = res["uncoordinated"], res["coordinated"]
+    print(f"   uncoordinated: detect={un.detection_rate:.2f} "
+          f"energy={un.total_energy_mj:.0f} mJ "
+          f"redundancy={un.mean_redundancy:.2f}")
+    print(f"   coordinated  : detect={co.detection_rate:.2f} "
+          f"energy={co.total_energy_mj:.0f} mJ "
+          f"redundancy={co.mean_redundancy:.2f}")
+    print(f"   energy reduction: "
+          f"{un.total_energy_mj / co.total_energy_mj:.2f}x")
+
+    print("\n3. Edge-cloud speculative decoding:")
+    rng = np.random.default_rng(6)
+    tokens = [0]
+    for _ in range(5000):
+        tokens.append((tokens[-1] + 1) % 10 if rng.random() < 0.8
+                      else int(rng.integers(10)))
+    cloud = NGramLM(10, order=3).fit(tokens)
+    edge = NGramLM(10, order=1).fit(tokens)
+    stats = speculative_decode(cloud, edge, tokens[:3], 200, k=4,
+                               rng=np.random.default_rng(7))
+    print(f"   draft acceptance: {stats.acceptance_rate:.2f}  "
+          f"speedup vs autoregressive: "
+          f"{stats.speedup_vs_autoregressive():.2f}x")
+    print("   (the edge drafts tokens; the cloud verifies blocks in one "
+          "call)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Generative sensing demo (Sec. III): sense 10-15%, reconstruct the rest.
+
+Pipeline:
+1. pretrain an R-MAE on full scans of procedural street scenes;
+2. at deployment, decide which angular sectors to fire (stage-1 radial
+   mask), translate that into a physical beam mask, scan frugally;
+3. reconstruct the full occupancy grid generatively;
+4. account energy for both regimes with the R^4 link-budget model.
+
+Run:  python examples/generative_lidar_perception.py
+"""
+
+import numpy as np
+
+from repro.generative import (RMAE, compare_energy, energy_ratio,
+                              pretrain_rmae, reconstruction_iou)
+from repro.sim import LidarConfig, LidarScanner, sample_scene
+from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
+                         beam_mask_from_segments, radial_mask, voxelize)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    lidar = LidarConfig(n_azimuth=72, n_elevation=12)
+    grid = VoxelGridConfig(nx=16, ny=16, nz=2)
+    scanner = LidarScanner(lidar, rng=rng)
+    mask_cfg = RadialMaskConfig()
+
+    print("1. Collecting full scans and pretraining R-MAE ...")
+    scenes = [sample_scene(rng) for _ in range(10)]
+    clouds = [voxelize((s := scanner.scan(scene)).points, s.labels, grid)
+              for scene in scenes]
+    model = RMAE(grid, rng=np.random.default_rng(1))
+    losses = pretrain_rmae(model, clouds[:-1], mask_cfg, epochs=12,
+                           rng=np.random.default_rng(2))
+    print(f"   reconstruction BCE: {losses[0]:.3f} -> {losses[-1]:.3f}")
+
+    print("2. Deploying: frugal scan of a new scene ...")
+    scene = scenes[-1]
+    full_scan = scanner.scan(scene)
+    full_cloud = clouds[-1]
+    _, segments = radial_mask(full_cloud, mask_cfg,
+                              np.random.default_rng(3))
+    expected = np.full(lidar.n_beams, lidar.max_range_m)
+    expected[full_scan.beam_ids] = full_scan.ranges
+    beam_mask = beam_mask_from_segments(segments, lidar, mask_cfg,
+                                        expected_ranges=expected,
+                                        rng=np.random.default_rng(4))
+    frugal_scan = scanner.scan(scene, beam_mask)
+    print(f"   beams fired: {int(beam_mask.sum())}/{lidar.n_beams} "
+          f"({100 * frugal_scan.coverage_fraction:.1f}% coverage)")
+
+    print("3. Generative reconstruction ...")
+    frugal_cloud = voxelize(frugal_scan.points, frugal_scan.labels, grid)
+    recon = model.reconstruct_occupancy(frugal_cloud)
+    target = full_cloud.occupancy_dense()
+    print(f"   input IoU (masked scan vs full scene): "
+          f"{reconstruction_iou(frugal_cloud.occupancy_dense(), target):.3f}")
+    print(f"   reconstructed IoU                    : "
+          f"{reconstruction_iou(recon, target):.3f}")
+
+    print("4. Energy accounting (Table II protocol) ...")
+    reports = compare_energy(full_scan, frugal_scan,
+                             model.num_parameters(),
+                             2 * model.reconstruction_macs(
+                                 frugal_cloud.num_occupied))
+    for name, report in reports.items():
+        row = report.as_row()
+        print(f"   {name:12s} sensing {row['sensing_energy_mj']:8.3f} mJ  "
+              f"reconstruction {row['reconstruction_mj']:6.3f} mJ  "
+              f"total {row['total_mj']:8.3f} mJ")
+    print(f"   combined energy ratio: {energy_ratio(reports):.2f}x lower")
+    print("   (paper reports 9.11x with its 830K-param / 335 MFLOP model;")
+    print("   our simulator model is far smaller, so reconstruction is")
+    print("   cheaper and the ratio higher — see benchmarks/ for the")
+    print("   paper-scale accounting)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Neuromorphic demo (Sec. VI): event-driven optical flow and DOTIE.
+
+Trains the four flow families of Fig. 8 on simulated DVS data, compares
+AEE / parameters / energy, and runs the single-layer DOTIE spiking
+detector on a fast-object event stream.
+
+Run:  python examples/neuromorphic_optical_flow.py
+"""
+
+import numpy as np
+
+from repro.neuromorphic import (DOTIE, FLOW_MODEL_FAMILIES, build_flow_model,
+                                evaluate_aee, train_flow_model)
+from repro.sim import make_flow_dataset
+from repro.sim.events import EventCameraConfig
+
+
+def main() -> None:
+    cfg = EventCameraConfig(n_substeps=6, noise_events_per_pixel=0.02)
+    train = make_flow_dataset(40, seed=0, config=cfg, max_displacement=2.5)
+    test = make_flow_dataset(10, seed=1, config=cfg, max_displacement=2.5)
+    zero = float(np.mean([
+        np.sqrt((s.flow ** 2).sum(axis=0))[s.has_event_mask].mean()
+        for s in test]))
+
+    print("1. Optical-flow families on simulated DVS data "
+          f"(zero-flow baseline AEE = {zero:.2f}):")
+    print(f"   {'model':20s} {'AEE':>6s} {'params':>7s} {'energy':>10s}")
+    for name in sorted(FLOW_MODEL_FAMILIES):
+        model = build_flow_model(name, channels=8,
+                                 rng=np.random.default_rng(2))
+        train_flow_model(model, train, epochs=30,
+                         rng=np.random.default_rng(3))
+        aee = evaluate_aee(model, test)
+        energy = np.mean([model.inference_energy_pj(s) for s in test])
+        print(f"   {name:20s} {aee:6.3f} {model.num_parameters():7d} "
+              f"{energy / 1e3:8.1f} nJ")
+
+    print("\n2. DOTIE: single-layer SNN object detection from events")
+    rng = np.random.default_rng(4)
+    t, h, w = 8, 24, 24
+    frames = np.zeros((t, 2, h, w))
+    for step in range(t):                        # fast-moving 4x4 object
+        cx = 2 + 2 * step
+        frames[step, 0, 10:14, cx:cx + 4] = 2.0
+    for _ in range(30):                          # slow background clutter
+        frames[rng.integers(t), 1, rng.integers(h), rng.integers(w)] += 1
+    dotie = DOTIE(leak=0.6, threshold=2.5, min_cluster=4)
+    boxes = dotie.detect(frames)
+    print(f"   events processed: {int(frames.sum())} "
+          f"(synops = {dotie.synops(frames)})")
+    for i, box in enumerate(boxes[:3]):
+        print(f"   box {i}: x=[{box.x_min},{box.x_max}] "
+              f"y=[{box.y_min},{box.y_max}] mass={box.mass:.0f}")
+    print("   The speed-tuned LIF layer keeps only the fast object's "
+          "events; background clutter leaks away.")
+
+
+if __name__ == "__main__":
+    main()

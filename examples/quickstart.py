@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Quickstart: build and run a complete sensing-to-action loop.
+
+This is the paper's Fig. 1 in ~80 lines: a sensor that can modulate its
+coverage, a perception stage, a policy that closes the action-to-sensing
+pathway (it asks for cheap sensing when the scene is boring and full
+fidelity when something moves), and the loop orchestrator tracking
+energy, latency, and trust.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (Action, Actuator, Environment, Percept, Perception,
+                        Policy, Sensor, SensingToActionLoop, SensorReading)
+
+
+class DriftingTarget(Environment):
+    """A target that mostly sits still but occasionally dashes."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+        self.position = 0.0
+        self.velocity = 0.0
+
+    def observe_state(self) -> float:
+        return self.position
+
+    def advance(self, dt: float) -> None:
+        if self.rng.random() < 0.05:           # occasional dash
+            self.velocity = self.rng.uniform(-3.0, 3.0)
+        self.velocity *= 0.9
+        self.position += self.velocity * dt
+
+
+class RangeSensor(Sensor):
+    """Reads the target position; noise shrinks with coverage spent."""
+
+    def sense(self, env, directive, t) -> SensorReading:
+        coverage = float(directive.get("coverage", 1.0))
+        noise_std = 0.02 / max(coverage, 0.05)
+        measured = env.observe_state() + np.random.default_rng(
+            int(t * 1000) % (2 ** 31)).normal(0.0, noise_std)
+        return SensorReading(data=measured, timestamp=t, coverage=coverage,
+                             energy_mj=5.0 * coverage)
+
+
+class TrackingPerception(Perception):
+    """Maintains a position estimate and an activity level."""
+
+    def __init__(self):
+        self.last = 0.0
+
+    def perceive(self, reading) -> Percept:
+        activity = abs(reading.data - self.last)
+        self.last = reading.data
+        return Percept(features=np.array([reading.data, activity]),
+                       estimate=reading.data,
+                       meta={"activity": activity})
+
+
+class AdaptiveTrackingPolicy(Policy):
+    """Proportional control + action-to-sensing coverage modulation."""
+
+    def act(self, percept, t) -> Action:
+        command = -0.5 * percept.estimate          # pull target to origin
+        activity = percept.meta["activity"]
+        coverage = 1.0 if activity > 0.05 else 0.15  # frugal when static
+        return Action(command=command,
+                      sensing_directive={"coverage": coverage},
+                      energy_mj=0.01)
+
+
+class VelocityActuator(Actuator):
+    def actuate(self, env, action, t) -> float:
+        env.velocity += float(action.command)
+        return 0.02
+
+
+def main() -> None:
+    env = DriftingTarget(seed=7)
+    loop = SensingToActionLoop(
+        sensor=RangeSensor(),
+        perception=TrackingPerception(),
+        policy=AdaptiveTrackingPolicy(),
+        actuator=VelocityActuator(),
+        period_s=0.05,
+        compute_latency_s=0.01,
+    )
+    metrics = loop.run(env, n_cycles=200)
+
+    print("Sensing-to-action loop: 200 cycles on a drifting target")
+    print(f"  final |position|     : {abs(env.observe_state()):.3f}")
+    print(f"  mean coverage        : {metrics.mean_coverage:.2f} "
+          "(1.0 would be a static full-fidelity loop)")
+    print(f"  sensing energy       : {metrics.energy.sensing_mj:.1f} mJ "
+          f"(static loop would spend {5.0 * metrics.cycles:.0f} mJ)")
+    print(f"  actuation energy     : {metrics.energy.actuation_mj:.1f} mJ")
+    print(f"  mean loop latency    : {1e3 * metrics.mean_latency_s:.1f} ms")
+    saved = 1.0 - metrics.energy.sensing_mj / (5.0 * metrics.cycles)
+    print(f"  energy saved by action-to-sensing adaptation: {100 * saved:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

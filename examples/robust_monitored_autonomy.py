@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reliability demo (Sec. V): STARNet guards a perception loop.
+
+A LiDAR perception stack runs inside a sensing-to-action loop; STARNet
+monitors the task network's intermediate features.  Midway through the
+run, a snowstorm corrupts the sensor stream — the monitor flags it, the
+loop rejects the untrusted cycles, and the gated backscatter filter
+restores the point cloud before detection.
+
+Run:  python examples/robust_monitored_autonomy.py
+"""
+
+import numpy as np
+
+from repro.generative import RMAE, pretrain_rmae
+from repro.sim import LidarConfig, LidarScanner, sample_scene, snow
+from repro.starnet import (GatedFilter, LidarFeatureExtractor, STARNet)
+from repro.voxel import VoxelGridConfig, voxelize
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    lidar = LidarConfig(n_azimuth=48, n_elevation=10)
+    grid = VoxelGridConfig(nx=16, ny=16, nz=2)
+    scanner = LidarScanner(lidar, rng=rng)
+
+    print("1. Training the perception backbone and the monitor ...")
+    scenes = [sample_scene(rng) for _ in range(20)]
+    scans = [scanner.scan(s) for s in scenes]
+    clouds = [voxelize(s.points, s.labels, grid) for s in scans]
+    backbone = RMAE(grid, rng=np.random.default_rng(1))
+    pretrain_rmae(backbone, clouds[:12], epochs=6,
+                  rng=np.random.default_rng(2))
+    extractor = LidarFeatureExtractor(backbone, grid)
+    monitor = STARNet(extractor.feature_dim, score_method="spsa",
+                      spsa_steps=25, rng=np.random.default_rng(3))
+    monitor.fit(extractor.extract_batch(scans), epochs=35)
+    print(f"   monitor trained on {len(scans)} nominal scans "
+          f"({extractor.feature_dim}-dim features, SPSA likelihood regret)")
+
+    print("2. Runtime: 6 clear cycles, then the snowstorm hits ...")
+    gate = GatedFilter(monitor, extractor)
+    for cycle in range(12):
+        scene = sample_scene(np.random.default_rng(100 + cycle))
+        scan = scanner.scan(scene)
+        snowing = cycle >= 6
+        if snowing:
+            scan = snow(scan, severity=0.8,
+                        rng=np.random.default_rng(200 + cycle))
+        features = extractor.extract(scan)
+        z = monitor.zscore(features)
+        filtered = gate.apply(scan)
+        action = "FILTERED" if filtered.num_points < scan.num_points else \
+            "passthrough"
+        print(f"   cycle {cycle:2d} [{'snow' if snowing else 'clear'}] "
+              f"score z={z:7.2f}  points {scan.num_points:4d} -> "
+              f"{filtered.num_points:4d}  ({action})")
+
+    print("3. Outcome:")
+    print(f"   interventions: {gate.interventions}, "
+          f"passthroughs: {gate.passthroughs}")
+    print("   The monitor reliably fires on the corrupted stream (clean")
+    print("   cycles pass through nearly always), so aggressive loop")
+    print("   optimizations stay guarded by a cheap gradient-free check.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Future-work demo: uncertainty-aware sensing over drifting dynamics.
+
+Ties together the paper's future-work items, all implemented here:
+
+* a **time-varying Koopman model** (`RecursiveKoopman`) tracks the
+  latent dynamics online with forgetting-factor RLS;
+* a **conformal predictor** wraps it with distribution-free error radii;
+* the radius drives the **sensing coverage** through
+  `uncertainty_to_coverage` — confident model => frugal sensing,
+  uncertain model => full fidelity (the uncertainty-aware
+  action-to-sensing loop of Sec. IV's outlook);
+* a **drift detector** watches the prediction-error stream and flags the
+  regime change (Sec. V's temporal-consistency outlook).
+
+Midway through the run the plant's dynamics switch (sensor degradation /
+task transition).  Watch the loop notice, spend more sensing while it
+re-learns, and relax again once the new regime is mastered.
+
+Run:  python examples/uncertainty_aware_sensing.py
+"""
+
+import numpy as np
+
+from repro.koopman import (ConformalPredictor, RecursiveKoopman,
+                           uncertainty_to_coverage)
+from repro.starnet import DriftDetector
+
+
+def make_plant(regime: int):
+    """Two latent-dynamics regimes; the switch models degradation."""
+    if regime == 0:
+        a = np.array([[0.95, 0.10], [0.00, 0.90]])
+    else:
+        a = np.array([[0.70, -0.25], [0.15, 1.00]])
+    b = np.array([[0.0], [0.1]])
+    return a, b
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    model = RecursiveKoopman(2, 1, forgetting=0.97)
+    detector = DriftDetector(threshold_sigma=3.0, fast=0.5, warmup=15)
+
+    print("Online loop: RLS Koopman + conformal radii -> sensing coverage")
+    print(f"{'step':>5s} {'regime':>7s} {'pred err':>9s} {'coverage':>9s} "
+          f"{'drift?':>7s}")
+
+    # Warm up on regime 0 and calibrate the conformal predictor.
+    a, b = make_plant(0)
+    calib = []
+    for _ in range(120):
+        z = rng.normal(size=2)
+        u = rng.normal(size=1)
+        z_next = a @ z + b[:, 0] * u[0] + rng.normal(0, 0.02, size=2)
+        model.update(z, u, z_next)
+        calib.append((z, u, z_next))
+    cp = ConformalPredictor(lambda z, u: model.predict(z, u))
+    zc = np.stack([c[0] for c in calib[-60:]])
+    uc = np.stack([c[1] for c in calib[-60:]])
+    zn = np.stack([c[2] for c in calib[-60:]])
+    cp.calibrate(zc, uc, zn)
+    nominal_radius = cp.radius(alpha=0.1)
+
+    total_coverage = 0.0
+    drift_step = None
+    for step in range(200):
+        regime = 0 if step < 100 else 1
+        a, b = make_plant(regime)
+        z = rng.normal(size=2)
+        u = rng.normal(size=1)
+        z_next = a @ z + b[:, 0] * u[0] + rng.normal(0, 0.02, size=2)
+
+        err = model.update(z, u, z_next)
+        fired = detector.update(err)
+        if fired and drift_step is None:
+            drift_step = step
+
+        # Uncertainty -> sensing coverage: the observed error stands in
+        # for the live radius (recalibrating every step would be free
+        # here but is throttled on a real edge device).
+        coverage = uncertainty_to_coverage(
+            max(err, nominal_radius), nominal_radius)
+        total_coverage += coverage
+
+        if step % 20 == 0 or (fired and step == drift_step):
+            print(f"{step:5d} {regime:7d} {err:9.4f} {coverage:9.2f} "
+                  f"{'DRIFT' if fired else '':>7s}")
+
+    print("\nOutcome:")
+    print(f"  regime switch at step 100; drift flagged at step "
+          f"{drift_step}")
+    print(f"  mean sensing coverage: {total_coverage / 200:.2f} "
+          "(a static loop would pay 1.00)")
+    print(f"  final tracked spectral radius: "
+          f"{model.spectral_radius():.3f} "
+          f"(regime-1 truth ~{np.max(np.abs(np.linalg.eigvals(make_plant(1)[0]))):.3f})")
+    print("  The loop sensed frugally while confident, surged during the")
+    print("  regime change, and relaxed once the new dynamics were learned.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — Intelligent sensing-to-action loops for robust edge autonomy.
+
+A full reproduction of "Intelligent Sensing-to-Action for Robust Autonomy
+at the Edge: Opportunities and Challenges" (DATE 2025): the sensing-to-
+action loop abstraction (``repro.core``) plus the paper's five pillars —
+generative sensing / R-MAE (``repro.generative``), Koopman action-to-
+sensing control (``repro.koopman``), STARNet reliability monitoring
+(``repro.starnet``), neuromorphic loops (``repro.neuromorphic``), and
+federated multi-agent loops (``repro.federated`` / ``repro.multiagent``) —
+all running on simulated substrates (``repro.sim``) with analytic hardware
+models (``repro.hardware``) and a from-scratch numpy NN stack
+(``repro.nn``).
+
+Quickstart::
+
+    from repro.core import SensingToActionLoop
+    from repro.sim import CartPole
+    # see examples/quickstart.py for a complete closed loop
+
+"""
+
+__version__ = "1.0.0"
+
+from . import (core, detect, federated, generative, hardware, koopman,
+               metrics, multiagent, neuromorphic, nn, sim, starnet, voxel)
+
+__all__ = [
+    "core", "nn", "hardware", "sim", "voxel", "generative", "detect",
+    "koopman", "starnet", "neuromorphic", "federated", "multiagent",
+    "metrics", "__version__",
+]

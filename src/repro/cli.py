@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one entry point for the common flows without
+writing any code:
+
+* ``demo <name>``       — run one of the example scenarios inline;
+* ``experiment <id>``   — regenerate one paper artifact (table2, fig5a,
+  fig5b, auc, fig11, swarm, speculative, codesign); the full table and
+  figure suite, including the heavier Table I / Fig. 7 / Fig. 9 runs,
+  lives in ``benchmarks/``;
+* ``list``              — enumerate available demos and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+# --------------------------------------------------------------- commands
+def _table2() -> dict:
+    from repro.generative import RMAE, compare_energy, energy_ratio
+    from repro.sim import LidarConfig, LidarScanner, sample_scene
+    from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
+                             beam_mask_from_segments, radial_mask, voxelize)
+    lidar = LidarConfig(n_azimuth=72, n_elevation=20)
+    grid = VoxelGridConfig(nx=24, ny=24, nz=2)
+    rng = np.random.default_rng(0)
+    scanner = LidarScanner(lidar, rng=rng)
+    scene = sample_scene(rng)
+    full = scanner.scan(scene)
+    cloud = voxelize(full.points, full.labels, grid)
+    cfg = RadialMaskConfig(n_segments=24, segment_keep_fraction=0.25,
+                           reference_range_m=10.0)
+    _, segments = radial_mask(cloud, cfg, np.random.default_rng(1))
+    expected = np.full(lidar.n_beams, lidar.max_range_m)
+    expected[full.beam_ids] = full.ranges
+    mask = beam_mask_from_segments(segments, lidar, cfg, expected,
+                                   np.random.default_rng(2))
+    masked = scanner.scan(scene, mask)
+    reports = compare_energy(full, masked, 830_000, 335_000_000)
+    return {
+        "conventional": reports["conventional"].as_row(),
+        "rmae": reports["rmae"].as_row(),
+        "energy_ratio": round(energy_ratio(reports), 2),
+    }
+
+
+def _fig5a() -> dict:
+    from repro.koopman import fig5a_macs
+    return fig5a_macs(16, 1)
+
+
+def _fig5b() -> dict:
+    from repro.koopman import (build_model, collect_transitions,
+                               evaluate_controller, fit_dynamics_model,
+                               make_controller)
+    transitions = collect_transitions(n_episodes=12,
+                                      rng=np.random.default_rng(0))
+    out = {}
+    for name, epochs in (("dense_koopman", 1), ("spectral_koopman", 90),
+                         ("mlp", 25)):
+        model = build_model(name, 4, 1, rng=np.random.default_rng(1))
+        fit_dynamics_model(model, transitions, epochs=epochs,
+                           rng=np.random.default_rng(2))
+        controller = make_controller(model, np.random.default_rng(3))
+        out[name] = {
+            f"p={p}": round(evaluate_controller(
+                controller, p, n_episodes=4, steps=150, seed=4,
+                a_min=5.0, a_max=20.0), 1)
+            for p in (0.0, 0.1, 0.25)
+        }
+    return out
+
+
+def _auc() -> dict:
+    from repro.starnet import AUCExperimentConfig, run_auc_experiment
+    cfg = AUCExperimentConfig(n_fit_scans=24, n_test_scans=12,
+                              severity=0.45, spsa_steps=25, vae_epochs=35)
+    return {k: round(v, 4) for k, v in run_auc_experiment(cfg).items()}
+
+
+def _swarm() -> dict:
+    from repro.multiagent import compare_swarm_strategies
+    res = compare_swarm_strategies(steps=40, seed=0)
+    return {
+        name: {"detection_rate": round(r.detection_rate, 3),
+               "energy_mj": round(r.total_energy_mj, 1),
+               "redundancy": round(r.mean_redundancy, 2)}
+        for name, r in res.items()
+    }
+
+
+def _speculative() -> dict:
+    from repro.federated import NGramLM, speculative_decode
+    rng = np.random.default_rng(0)
+    tokens = [0]
+    for _ in range(5000):
+        tokens.append((tokens[-1] + 1) % 12 if rng.random() < 0.8
+                      else int(rng.integers(12)))
+    target = NGramLM(12, order=3).fit(tokens)
+    draft = NGramLM(12, order=1).fit(tokens)
+    out = {}
+    for k in (1, 2, 4, 8):
+        stats = speculative_decode(target, draft, tokens[:3], 200, k=k,
+                                   rng=np.random.default_rng(k))
+        out[f"k={k}"] = {"acceptance": round(stats.acceptance_rate, 3),
+                         "speedup": round(
+                             stats.speedup_vs_autoregressive(), 2)}
+    return out
+
+
+def _fig11() -> dict:
+    from repro.federated import FLClient, FLServer, MODES, make_fleet
+    from repro.sim import make_synthetic_cifar, shard_dirichlet
+    ds = make_synthetic_cifar(n_per_class=40, seed=0)
+    train, test = ds.split(0.25, np.random.default_rng(1))
+    shards = shard_dirichlet(train, 6, alpha=0.7,
+                             rng=np.random.default_rng(2))
+    fleet = make_fleet(6, rng=np.random.default_rng(3))
+    out = {}
+    for mode in MODES:
+        clients = [FLClient(i, s, p, rng=np.random.default_rng(10 + i))
+                   for i, (s, p) in enumerate(zip(shards, fleet))]
+        server = FLServer(clients, test, hidden=32, mode=mode,
+                          rng=np.random.default_rng(4))
+        server.run(8)
+        out[mode] = {k: round(v, 5) for k, v in server.totals().items()}
+    return out
+
+
+def _codesign() -> dict:
+    from repro.core import LoopPlant, end_to_end_codesign, modular_codesign
+    plant = LoopPlant()
+    out = {}
+    for budget in (2000, 4000, 8000, 15000, 30000):
+        e2e, ue = end_to_end_codesign(plant, budget)
+        _, um = modular_codesign(plant, budget)
+        out[f"{budget}mW"] = {
+            "e2e_utility": round(ue, 3),
+            "modular_utility": round(um, 3),
+            "e2e_design": str(e2e),
+        }
+    return out
+
+
+EXPERIMENTS: Dict[str, Callable[[], dict]] = {
+    "table2": _table2,
+    "codesign": _codesign,
+    "fig5a": _fig5a,
+    "fig5b": _fig5b,
+    "auc": _auc,
+    "fig11": _fig11,
+    "swarm": _swarm,
+    "speculative": _speculative,
+}
+
+DEMOS = ("quickstart", "generative_lidar_perception",
+         "koopman_cartpole_control", "robust_monitored_autonomy",
+         "neuromorphic_optical_flow", "federated_edge_fleet",
+         "uncertainty_aware_sensing")
+
+
+def _run_demo(name: str) -> int:
+    if name not in DEMOS:
+        print(f"unknown demo {name!r}; choose from {', '.join(DEMOS)}",
+              file=sys.stderr)
+        return 2
+    import importlib.util
+    import os
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "examples",
+        f"{name}.py")
+    if not os.path.exists(path):
+        print(f"example script not found at {path}", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sensing-to-action loops for edge autonomy "
+                    "(DATE 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list demos and experiments")
+    demo = sub.add_parser("demo", help="run an example scenario")
+    demo.add_argument("name", choices=DEMOS)
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper artifact (JSON to stdout)")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("demos:       ", ", ".join(DEMOS))
+        print("experiments: ", ", ".join(sorted(EXPERIMENTS)))
+        print("(the full table/figure suite lives in benchmarks/: "
+              "pytest benchmarks/ --benchmark-only -s)")
+        return 0
+    if args.command == "demo":
+        return _run_demo(args.name)
+    if args.command == "experiment":
+        result = EXPERIMENTS[args.id]()
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""``repro.core`` — the sensing-to-action loop abstraction (Sec. II).
+
+Component contracts, the closed-loop orchestrator with energy/latency/
+staleness accounting, adaptation policies, cascading-error models,
+deadline scheduling, and hierarchical control.
+"""
+
+from .components import (Action, Actuator, Environment, Monitor, Percept,
+                         Perception, Policy, Sensor, SensorReading)
+from .loop import CycleRecord, LoopMetrics, SensingToActionLoop
+from .adaptation import (RateAdaptation, ResolutionAdaptation,
+                         RiskCoverageAdaptation)
+from .errors import CascadeModel, closed_loop_gain_estimate, staleness_error
+from .scheduling import LoopSchedule, Stage, synchronization_delay
+from .hierarchy import HierarchicalController
+from .codesign import (DesignSpace, LoopDesign, LoopPlant,
+                       end_to_end_codesign, modular_codesign, pareto_front)
+
+__all__ = [
+    "SensorReading", "Percept", "Action", "Sensor", "Perception", "Policy",
+    "Actuator", "Monitor", "Environment",
+    "CycleRecord", "LoopMetrics", "SensingToActionLoop",
+    "RateAdaptation", "RiskCoverageAdaptation", "ResolutionAdaptation",
+    "CascadeModel", "staleness_error", "closed_loop_gain_estimate",
+    "LoopSchedule", "Stage", "synchronization_delay",
+    "HierarchicalController",
+    "LoopDesign", "LoopPlant", "DesignSpace", "end_to_end_codesign",
+    "modular_codesign", "pareto_front",
+]

@@ -1,0 +1,116 @@
+"""Adaptation policies for sensing parameters (Secs. I-II examples).
+
+The paper motivates several concrete adaptation behaviours:
+
+* "environmental monitoring sensors can reduce their sampling rates
+  during stable periods and increase them during sudden events" —
+  :class:`RateAdaptation`;
+* "deprioritize redundant sensor streams during low-risk tasks while
+  enhancing accuracy for high-stakes operations" —
+  :class:`RiskCoverageAdaptation`;
+* task-demand-driven resolution scaling — :class:`ResolutionAdaptation`.
+
+Each policy is a small pure-state controller producing the
+``sensing_directive`` dict the loop feeds back to its sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RateAdaptation", "RiskCoverageAdaptation", "ResolutionAdaptation"]
+
+
+@dataclass
+class RateAdaptation:
+    """Sampling-rate controller driven by signal activity.
+
+    Tracks an exponential moving average of the observed change magnitude
+    and maps it into a rate between ``min_rate_hz`` and ``max_rate_hz``.
+    During stable periods the rate decays toward the minimum; a sudden
+    event (change above ``surge_threshold``) snaps it to the maximum.
+    """
+
+    min_rate_hz: float = 1.0
+    max_rate_hz: float = 20.0
+    surge_threshold: float = 0.5
+    smoothing: float = 0.3
+    _activity: float = field(default=0.0, repr=False)
+    _last_value: Optional[float] = field(default=None, repr=False)
+
+    def update(self, value: float) -> float:
+        """Feed a new scalar observation, get the commanded rate in Hz."""
+        if self._last_value is None:
+            change = 0.0
+        else:
+            change = abs(value - self._last_value)
+        self._last_value = value
+        self._activity = ((1 - self.smoothing) * self._activity
+                          + self.smoothing * change)
+        if change >= self.surge_threshold:
+            return self.max_rate_hz
+        frac = min(self._activity / max(self.surge_threshold, 1e-9), 1.0)
+        return self.min_rate_hz + frac * (self.max_rate_hz - self.min_rate_hz)
+
+    def directive(self, value: float) -> Dict[str, Any]:
+        return {"rate_hz": self.update(value)}
+
+
+@dataclass
+class RiskCoverageAdaptation:
+    """Coverage controller driven by task risk.
+
+    Maps a risk estimate in [0, 1] to a sensing-coverage fraction between
+    ``min_coverage`` (frugal, low-stakes) and 1.0 (full fidelity,
+    high-stakes), with hysteresis so coverage doesn't chatter.
+    """
+
+    min_coverage: float = 0.08
+    hysteresis: float = 0.1
+    _coverage: float = field(default=1.0, repr=False)
+
+    def update(self, risk: float) -> float:
+        risk = float(np.clip(risk, 0.0, 1.0))
+        target = self.min_coverage + risk * (1.0 - self.min_coverage)
+        if abs(target - self._coverage) > self.hysteresis:
+            self._coverage = target
+        return self._coverage
+
+    def directive(self, risk: float) -> Dict[str, Any]:
+        return {"coverage": self.update(risk)}
+
+
+@dataclass
+class ResolutionAdaptation:
+    """Resolution ladder selection driven by required precision.
+
+    Given the precision (e.g. minimum object size in metres) the current
+    task needs and the resolutions each ladder rung provides, picks the
+    cheapest rung that meets the requirement.
+    """
+
+    ladder: List[float] = field(default_factory=lambda: [4.0, 2.0, 1.0, 0.5])
+    # ladder entries: coarsest-to-finest achievable precision per rung
+
+    def __post_init__(self):
+        if not self.ladder:
+            raise ValueError("resolution ladder must be non-empty")
+        if any(b <= 0 for b in self.ladder):
+            raise ValueError("ladder precisions must be positive")
+        if sorted(self.ladder, reverse=True) != list(self.ladder):
+            raise ValueError("ladder must go coarse -> fine")
+
+    def select(self, required_precision: float) -> int:
+        """Index of the cheapest rung whose precision suffices."""
+        for idx, precision in enumerate(self.ladder):
+            if precision <= required_precision:
+                return idx
+        return len(self.ladder) - 1
+
+    def directive(self, required_precision: float) -> Dict[str, Any]:
+        rung = self.select(required_precision)
+        return {"resolution_level": rung,
+                "resolution_m": self.ladder[rung]}

@@ -1,0 +1,103 @@
+"""Cascading-error propagation model (Sec. II).
+
+"The cyclical nature of the loop also amplifies sensitivity to outdated
+or noisy data, as errors can propagate and compound, degrading downstream
+decisions."  This module provides an analytic model of that compounding:
+per-cycle error evolves as
+
+    e[t+1] = gain * e[t] + injected[t]
+
+where ``gain`` is the loop's error amplification factor (how strongly a
+bad action skews the next sensing stage) and ``injected`` is fresh error
+from noise/staleness.  ``gain < 1`` means the loop is self-correcting;
+``gain >= 1`` means errors cascade — exactly the destabilization risk a
+monitor (Sec. V) must catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["CascadeModel", "staleness_error", "closed_loop_gain_estimate"]
+
+
+def staleness_error(rate_of_change: float, staleness_s: float) -> float:
+    """Error introduced by acting on data ``staleness_s`` old.
+
+    First-order model: a state changing at ``rate_of_change`` units/s
+    drifts by ``rate * staleness`` between sensing and actuation.
+    """
+    if staleness_s < 0:
+        raise ValueError("staleness cannot be negative")
+    return abs(rate_of_change) * staleness_s
+
+
+@dataclass
+class CascadeModel:
+    """Linear error-propagation model of a closed loop."""
+
+    gain: float
+    noise_std: float = 0.0
+
+    def propagate(self, initial_error: float, n_cycles: int,
+                  injected: Optional[np.ndarray] = None,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Error trajectory over ``n_cycles`` cycles (length n+1)."""
+        if n_cycles < 0:
+            raise ValueError("n_cycles must be non-negative")
+        if injected is None:
+            if self.noise_std > 0:
+                rng = rng if rng is not None else np.random.default_rng(0)
+                injected = np.abs(rng.normal(0, self.noise_std, size=n_cycles))
+            else:
+                injected = np.zeros(n_cycles)
+        errors = np.empty(n_cycles + 1)
+        errors[0] = initial_error
+        for t in range(n_cycles):
+            errors[t + 1] = self.gain * errors[t] + injected[t]
+        return errors
+
+    @property
+    def stable(self) -> bool:
+        """Whether errors decay in the absence of fresh injection."""
+        return abs(self.gain) < 1.0
+
+    def steady_state_error(self, mean_injection: float) -> float:
+        """Fixed point of the recursion for a constant injection rate."""
+        if not self.stable:
+            return float("inf")
+        return mean_injection / (1.0 - abs(self.gain))
+
+    def cycles_to_threshold(self, initial_error: float,
+                            threshold: float) -> Optional[int]:
+        """Cycles until error exceeds ``threshold`` (None if it never does).
+
+        Noise-free analysis: only the geometric term.
+        """
+        if initial_error <= 0:
+            return None
+        if initial_error > threshold:
+            return 0
+        if self.stable or self.gain == 0:
+            return None
+        n = np.log(threshold / initial_error) / np.log(abs(self.gain))
+        return int(np.ceil(n))
+
+
+def closed_loop_gain_estimate(errors: np.ndarray) -> float:
+    """Estimate the cascade gain from an observed error trajectory.
+
+    Least-squares fit of e[t+1] ~ g * e[t]; useful for runtime monitors
+    that want to detect when a loop has become unstable.
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.size < 2:
+        raise ValueError("need at least two error samples")
+    prev, nxt = errors[:-1], errors[1:]
+    denom = float(prev @ prev)
+    if denom == 0:
+        return 0.0
+    return float(prev @ nxt / denom)

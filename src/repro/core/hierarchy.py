@@ -1,0 +1,82 @@
+"""Hierarchical control: fast reflexes under a slow planner (Secs. I-II).
+
+"These loops also support hierarchical control, where low-level actions —
+such as adjusting sensor thresholds — complement higher-level planning
+decisions, enabling efficient distribution of computational effort."
+
+:class:`HierarchicalController` composes a cheap low-level controller that
+runs every cycle with an expensive high-level planner that runs every
+``plan_interval`` cycles and sets the low level's target.  The controller
+tracks compute spent at each level so benches can show the effort split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["HierarchicalController"]
+
+
+@dataclass
+class HierarchicalController:
+    """Two-level controller with interleaved execution rates.
+
+    Parameters
+    ----------
+    low_level:
+        ``f(observation, target) -> command``; runs every cycle.
+    high_level:
+        ``f(observation) -> target``; runs every ``plan_interval`` cycles.
+    plan_interval:
+        Cycles between planner invocations (>= 1).
+    low_cost_macs, high_cost_macs:
+        Analytic per-invocation compute of each level, for the effort
+        accounting.
+    """
+
+    low_level: Callable[[Any, Any], Any]
+    high_level: Callable[[Any], Any]
+    plan_interval: int = 10
+    low_cost_macs: int = 1_000
+    high_cost_macs: int = 100_000
+    _target: Any = field(default=None, repr=False)
+    _cycle: int = field(default=0, repr=False)
+    low_invocations: int = field(default=0, repr=False)
+    high_invocations: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.plan_interval < 1:
+            raise ValueError("plan_interval must be >= 1")
+
+    def step(self, observation: Any) -> Any:
+        """One control cycle: maybe re-plan, always run the reflex."""
+        if self._cycle % self.plan_interval == 0 or self._target is None:
+            self._target = self.high_level(observation)
+            self.high_invocations += 1
+        command = self.low_level(observation, self._target)
+        self.low_invocations += 1
+        self._cycle += 1
+        return command
+
+    @property
+    def current_target(self) -> Any:
+        return self._target
+
+    @property
+    def total_macs(self) -> int:
+        return (self.low_invocations * self.low_cost_macs
+                + self.high_invocations * self.high_cost_macs)
+
+    def flat_equivalent_macs(self) -> int:
+        """Compute if the planner had run every cycle (the flat design)."""
+        return self.low_invocations * (self.low_cost_macs + self.high_cost_macs)
+
+    def compute_savings(self) -> float:
+        """Fraction of compute saved vs running the planner every cycle."""
+        flat = self.flat_equivalent_macs()
+        if flat == 0:
+            return 0.0
+        return 1.0 - self.total_macs / flat

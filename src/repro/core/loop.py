@@ -1,0 +1,166 @@
+"""The sensing-to-action loop orchestrator (Sec. II).
+
+Runs the sense -> perceive -> monitor -> act -> actuate cycle against an
+environment, tracking per-stage latency, energy, data staleness, and
+trust.  The loop exposes the two adaptation hooks the paper is about:
+
+* **sensing-to-action**: the policy sees percept confidence and may act
+  conservatively on stale or untrusted data;
+* **action-to-sensing**: each action's ``sensing_directive`` is handed to
+  the sensor on the next cycle, letting control retune acquisition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..hardware.energy import EnergyLedger
+from .components import (Action, Actuator, Environment, Monitor, Percept,
+                         Perception, Policy, Sensor, SensorReading)
+
+__all__ = ["CycleRecord", "LoopMetrics", "SensingToActionLoop"]
+
+
+@dataclass
+class CycleRecord:
+    """Everything that happened in one loop cycle."""
+
+    t: float
+    reading: SensorReading
+    percept: Percept
+    action: Action
+    trust: float
+    trusted: bool
+    staleness_s: float
+    latency_s: float
+
+
+@dataclass
+class LoopMetrics:
+    """Aggregates over a run of cycles."""
+
+    cycles: int = 0
+    energy: EnergyLedger = field(default_factory=EnergyLedger)
+    total_latency_s: float = 0.0
+    max_staleness_s: float = 0.0
+    rejected_cycles: int = 0
+    coverage_history: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_coverage(self) -> float:
+        return float(np.mean(self.coverage_history)) if self.coverage_history else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected_cycles / self.cycles if self.cycles else 0.0
+
+
+class SensingToActionLoop:
+    """Closed-loop executor binding sensor, perception, policy, actuator.
+
+    Parameters
+    ----------
+    sensor, perception, policy, actuator:
+        The four mandatory stages.
+    monitor:
+        Optional trust monitor; when provided, cycles whose trust falls
+        below ``trust_threshold`` are *rejected*: the policy receives the
+        percept with confidence forced to 0 so it can fall back (and the
+        next sensing directive is reset to full coverage).
+    compute_latency_s:
+        Fixed per-cycle processing latency.  The environment advances by
+        this much between sensing and actuation, so slow perception acts
+        on stale state — the cyclic-latency sensitivity the paper
+        emphasizes over feed-forward pipelines.
+    period_s:
+        Loop period; the environment also advances by the remainder of
+        the period after actuation.
+    """
+
+    def __init__(self, sensor: Sensor, perception: Perception, policy: Policy,
+                 actuator: Actuator, monitor: Optional[Monitor] = None,
+                 trust_threshold: float = 0.5,
+                 compute_latency_s: float = 0.0,
+                 period_s: float = 0.05):
+        if period_s <= 0:
+            raise ValueError("loop period must be positive")
+        if compute_latency_s < 0 or compute_latency_s > period_s:
+            raise ValueError("compute latency must be within the loop period")
+        self.sensor = sensor
+        self.perception = perception
+        self.policy = policy
+        self.actuator = actuator
+        self.monitor = monitor
+        self.trust_threshold = trust_threshold
+        self.compute_latency_s = compute_latency_s
+        self.period_s = period_s
+        self._next_directive: Dict[str, Any] = {}
+        self.metrics = LoopMetrics()
+        self.history: List[CycleRecord] = []
+        self._t = 0.0
+
+    @property
+    def t(self) -> float:
+        return self._t
+
+    def run_cycle(self, env: Environment) -> CycleRecord:
+        """Execute one full sense->act cycle against the environment."""
+        t0 = self._t
+        reading = self.sensor.sense(env, self._next_directive, t0)
+        self.metrics.energy.charge_sensing(reading.energy_mj)
+        self.metrics.coverage_history.append(reading.coverage)
+
+        # Environment keeps moving while we compute: the data the policy
+        # finally acts on is compute_latency_s old.
+        if self.compute_latency_s > 0:
+            env.advance(self.compute_latency_s)
+        percept = self.perception.perceive(reading)
+
+        trust, trusted = 1.0, True
+        if self.monitor is not None:
+            trust = float(self.monitor.assess(percept))
+            trusted = trust >= self.trust_threshold
+            if not trusted:
+                self.metrics.rejected_cycles += 1
+                percept.confidence = 0.0
+
+        action = self.policy.act(percept, t0)
+        act_energy = self.actuator.actuate(env, action, t0)
+        self.metrics.energy.charge_actuation(max(act_energy, 0.0))
+        self.metrics.energy.charge_compute(action.energy_mj)
+
+        if trusted:
+            self._next_directive = dict(action.sensing_directive)
+        else:
+            # Untrusted cycle: revert to conservative full-coverage sensing.
+            self._next_directive = {}
+
+        remainder = self.period_s - self.compute_latency_s
+        if remainder > 0:
+            env.advance(remainder)
+        self._t = t0 + self.period_s
+
+        staleness = self.compute_latency_s
+        record = CycleRecord(t=t0, reading=reading, percept=percept,
+                             action=action, trust=trust, trusted=trusted,
+                             staleness_s=staleness,
+                             latency_s=self.compute_latency_s)
+        self.history.append(record)
+        self.metrics.cycles += 1
+        self.metrics.total_latency_s += self.compute_latency_s
+        self.metrics.max_staleness_s = max(self.metrics.max_staleness_s,
+                                           staleness)
+        return record
+
+    def run(self, env: Environment, n_cycles: int) -> LoopMetrics:
+        """Run ``n_cycles`` cycles and return the aggregate metrics."""
+        for _ in range(n_cycles):
+            self.run_cycle(env)
+        return self.metrics

@@ -1,0 +1,112 @@
+"""Loop scheduling, deadlines, and staleness accounting (Sec. II).
+
+Edge loops must fit sensing + fusion + compute + actuation into a period.
+The scheduler models a cycle as a chain of stages with durations, checks
+deadline feasibility, accounts for multi-modal synchronization delay
+(streams arriving at different rates must wait for the slowest), and
+reports per-stage slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Stage", "LoopSchedule", "synchronization_delay"]
+
+
+def synchronization_delay(stream_periods_s: Sequence[float]) -> float:
+    """Worst-case alignment wait when fusing streams of different rates.
+
+    A fusion stage that needs one fresh sample from every stream waits,
+    in the worst case, one full period of the slowest stream.  This is
+    the "synchronization delays in multi-modal data fusion" cost the
+    paper highlights.
+    """
+    periods = [float(p) for p in stream_periods_s]
+    if not periods:
+        return 0.0
+    if any(p <= 0 for p in periods):
+        raise ValueError("stream periods must be positive")
+    return max(periods)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage with a nominal duration and jitter bound."""
+
+    name: str
+    duration_s: float
+    jitter_s: float = 0.0
+
+    def __post_init__(self):
+        if self.duration_s < 0 or self.jitter_s < 0:
+            raise ValueError("durations and jitter must be non-negative")
+
+    @property
+    def worst_case_s(self) -> float:
+        return self.duration_s + self.jitter_s
+
+
+@dataclass
+class LoopSchedule:
+    """A loop period with an ordered chain of stages."""
+
+    period_s: float
+    stages: List[Stage] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+    def add_stage(self, name: str, duration_s: float,
+                  jitter_s: float = 0.0) -> "LoopSchedule":
+        self.stages.append(Stage(name, duration_s, jitter_s))
+        return self
+
+    @property
+    def makespan_s(self) -> float:
+        return sum(s.duration_s for s in self.stages)
+
+    @property
+    def worst_case_makespan_s(self) -> float:
+        return sum(s.worst_case_s for s in self.stages)
+
+    @property
+    def slack_s(self) -> float:
+        """Remaining time in the period after the worst-case chain."""
+        return self.period_s - self.worst_case_makespan_s
+
+    def feasible(self) -> bool:
+        return self.slack_s >= 0.0
+
+    def staleness_at_actuation_s(self) -> float:
+        """Age of the sensed data when the actuator finally fires.
+
+        Everything after the sensing stage contributes: the world moved
+        on while fusion/compute ran.
+        """
+        if not self.stages:
+            return 0.0
+        return sum(s.duration_s for s in self.stages[1:])
+
+    def utilization(self) -> float:
+        """Fraction of the period consumed by nominal stage durations."""
+        return self.makespan_s / self.period_s
+
+    def critical_stage(self) -> Optional[Stage]:
+        """The longest (nominal) stage — the first candidate to optimize."""
+        if not self.stages:
+            return None
+        return max(self.stages, key=lambda s: s.duration_s)
+
+    def max_rate_hz(self) -> float:
+        """Highest loop rate this stage chain could sustain."""
+        wc = self.worst_case_makespan_s
+        return float("inf") if wc == 0 else 1.0 / wc
+
+    def stage_budget_report(self) -> Dict[str, float]:
+        """Per-stage share of the period (for co-design diagnostics)."""
+        return {s.name: s.duration_s / self.period_s for s in self.stages}

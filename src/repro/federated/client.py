@@ -1,0 +1,125 @@
+"""Federated client: local training with hardware-aware accounting.
+
+Each client owns a data shard and a :class:`HardwareProfile`.  Local
+training runs on a *view* of the global model — possibly pruned (DC-NAS)
+and/or quantized (HaLo-FL) — and reports the energy / latency / area its
+hardware spent, computed from the analytic models in ``repro.hardware``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hardware.energy import mac_energy_pj
+from ..hardware.latency import HardwareProfile, mac_area_um2
+from ..nn.layers import Dense
+from ..nn.losses import cross_entropy_with_logits
+from ..nn.optim import SGD
+from ..nn.quantize import PrecisionConfig, quantize
+from ..nn.sequential import Sequential, mlp
+from ..sim.datasets import ClassificationDataset
+
+__all__ = ["ClientReport", "FLClient", "make_client_model",
+           "model_macs_per_sample"]
+
+
+def make_client_model(input_dim: int, hidden: int, n_classes: int,
+                      rng: Optional[np.random.Generator] = None) -> Sequential:
+    """The shared model family: one-hidden-layer MLP classifier."""
+    return mlp([input_dim, hidden, n_classes], rng=rng, name="fl")
+
+
+def model_macs_per_sample(input_dim: int, hidden: int, n_classes: int) -> int:
+    """Forward MACs per sample; backward costs ~2x forward."""
+    return input_dim * hidden + hidden * n_classes
+
+
+@dataclass
+class ClientReport:
+    """Per-round resource and learning report from one client."""
+
+    client_id: int
+    n_samples: int
+    train_loss: float
+    energy_mj: float
+    latency_ms: float
+    area_um2: float
+    hidden_used: int
+    precision: PrecisionConfig
+
+
+class FLClient:
+    """One participant: data shard + device + local-training logic."""
+
+    def __init__(self, client_id: int, data: ClassificationDataset,
+                 profile: HardwareProfile,
+                 rng: Optional[np.random.Generator] = None):
+        self.client_id = client_id
+        self.data = data
+        self.profile = profile
+        self.rng = rng if rng is not None else np.random.default_rng(client_id)
+
+    def local_train(self, weights: List[np.ndarray], hidden_used: int,
+                    precision: PrecisionConfig, epochs: int = 1,
+                    batch_size: int = 16, lr: float = 0.1
+                    ) -> Tuple[List[np.ndarray], ClientReport]:
+        """Train a (possibly pruned, possibly quantized) view locally.
+
+        ``weights`` is the *sliced* parameter list for this client's
+        sub-network: [w1 (D, h), b1 (h,), w2 (h, C), b2 (C,)].  Returns
+        the updated slice and the resource report.
+        """
+        w1, b1, w2, b2 = [w.copy() for w in weights]
+        input_dim, hidden = w1.shape
+        n_classes = w2.shape[1]
+        model = make_client_model(input_dim, hidden, n_classes, rng=self.rng)
+        params = model.parameters()
+        params[0].data[...] = quantize(w1, precision.weight_bits)
+        params[1].data[...] = b1
+        params[2].data[...] = quantize(w2, precision.weight_bits)
+        params[3].data[...] = b2
+        opt = SGD(params, lr=lr)
+
+        total_loss, batches = 0.0, 0
+        total_macs = 0
+        macs_fwd = model_macs_per_sample(input_dim, hidden, n_classes)
+        for _ in range(epochs):
+            for xb, yb in self.data.batches(batch_size, rng=self.rng):
+                if precision.activation_bits < 32:
+                    xb = quantize(xb, precision.activation_bits)
+                logits = model.forward(xb)
+                loss, grad = cross_entropy_with_logits(logits, yb)
+                opt.zero_grad()
+                model.backward(grad)
+                if precision.gradient_bits < 32:
+                    for p in params:
+                        p.grad[...] = quantize(p.grad, precision.gradient_bits)
+                opt.step()
+                if precision.weight_bits < 32:
+                    for p in (params[0], params[2]):
+                        p.data[...] = quantize(p.data, precision.weight_bits)
+                total_loss += loss
+                batches += 1
+                # forward + backward ~ 3x forward MACs
+                total_macs += 3 * macs_fwd * len(xb)
+
+        energy_mj = total_macs * mac_energy_pj(precision.mac_bits) * 1e-9
+        latency_ms = self.profile.inference_latency_ms(
+            total_macs, precision.mac_bits)
+        area = mac_area_um2(precision.mac_bits) * self.profile.parallel_lanes
+        report = ClientReport(
+            client_id=self.client_id,
+            n_samples=len(self.data),
+            train_loss=total_loss / max(batches, 1),
+            energy_mj=energy_mj,
+            latency_ms=latency_ms,
+            area_um2=area,
+            hidden_used=hidden,
+            precision=precision,
+        )
+        new_weights = [params[0].data.copy(), params[1].data.copy(),
+                       params[2].data.copy(), params[3].data.copy()]
+        return new_weights, report

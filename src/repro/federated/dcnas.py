@@ -1,0 +1,99 @@
+"""DC-NAS: divide-and-conquer architecture adaptation per client (Sec. VII).
+
+"DC-NAS tailors neural network architectures to client-specific
+constraints through topology and channel pruning, enabling efficient
+collaboration without overburdening resource-limited agents."
+
+Realization here (HeteroFL-style nested subnetworks): the global model's
+hidden layer is ordered by importance; each client trains the widest
+prefix of hidden units its device affords (channel pruning), and the
+server aggregates each coordinate over exactly the clients that trained
+it.  Nested prefixes make aggregation well-defined without architecture
+translation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..hardware.latency import HardwareProfile
+from .client import model_macs_per_sample
+
+__all__ = ["select_hidden_width", "slice_weights", "merge_subnetwork"]
+
+
+def select_hidden_width(profile: HardwareProfile, input_dim: int,
+                        n_classes: int, full_hidden: int,
+                        target_latency_ms: float = 50.0,
+                        min_hidden: int = 4) -> int:
+    """Widest hidden prefix satisfying the client's memory and latency.
+
+    Memory: weights at fp32 must fit ``profile.memory_mb`` (with a 50%
+    headroom for activations/optimizer state).  Latency: one local epoch
+    (~3x forward MACs x shard) must land under ``target_latency_ms`` per
+    sample batch of 16.
+    """
+    best = min_hidden
+    for hidden in range(min_hidden, full_hidden + 1):
+        params = input_dim * hidden + hidden + hidden * n_classes + n_classes
+        if not profile.fits_model(int(params * 1.5), weight_bits=32):
+            break
+        macs = 3 * model_macs_per_sample(input_dim, hidden, n_classes) * 16
+        if profile.inference_latency_ms(macs, 32) > target_latency_ms:
+            break
+        best = hidden
+    return best
+
+
+def slice_weights(global_weights: List[np.ndarray],
+                  hidden_used: int) -> List[np.ndarray]:
+    """Extract the prefix sub-network [w1, b1, w2, b2] of width h."""
+    w1, b1, w2, b2 = global_weights
+    if hidden_used > w1.shape[1]:
+        raise ValueError("cannot slice wider than the global model")
+    return [w1[:, :hidden_used].copy(), b1[:hidden_used].copy(),
+            w2[:hidden_used, :].copy(), b2.copy()]
+
+
+def merge_subnetwork(global_weights: List[np.ndarray],
+                     client_weights: List[List[np.ndarray]],
+                     client_hidden: List[int],
+                     client_samples: List[int]) -> List[np.ndarray]:
+    """Coordinate-wise FedAvg over the clients that trained each unit.
+
+    Hidden unit ``j`` is averaged over exactly the clients whose prefix
+    covers it, weighted by shard size; units no client trained keep the
+    previous global values.  Output-layer biases are averaged over all
+    clients.
+    """
+    if not client_weights:
+        return [w.copy() for w in global_weights]
+    w1g, b1g, w2g, b2g = [w.copy() for w in global_weights]
+    full_hidden = w1g.shape[1]
+
+    w1_acc = np.zeros_like(w1g)
+    b1_acc = np.zeros_like(b1g)
+    w2_acc = np.zeros_like(w2g)
+    unit_weight = np.zeros(full_hidden)
+    b2_acc = np.zeros_like(b2g)
+    b2_weight = 0.0
+
+    for weights, hidden, n in zip(client_weights, client_hidden,
+                                  client_samples):
+        w1, b1, w2, b2 = weights
+        w1_acc[:, :hidden] += n * w1
+        b1_acc[:hidden] += n * b1
+        w2_acc[:hidden, :] += n * w2
+        unit_weight[:hidden] += n
+        b2_acc += n * b2
+        b2_weight += n
+
+    covered = unit_weight > 0
+    w1g[:, covered] = w1_acc[:, covered] / unit_weight[covered]
+    b1g[covered] = b1_acc[covered] / unit_weight[covered]
+    w2g[covered, :] = w2_acc[covered, :] / unit_weight[covered, None]
+    if b2_weight > 0:
+        b2g = b2_acc / b2_weight
+    return [w1g, b1g, w2g, b2g]

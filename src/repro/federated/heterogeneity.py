@@ -1,0 +1,50 @@
+"""Client hardware heterogeneity (Sec. VII, Fig. 10).
+
+Real FL deployments span server-class boxes to microcontrollers.  This
+module provides a representative fleet of :class:`HardwareProfile`
+instances and samplers for building heterogeneous client populations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..hardware.latency import HardwareProfile
+
+__all__ = ["PROFILE_TIERS", "make_fleet"]
+
+# Named device tiers spanning the edge spectrum.  ``memory_mb`` is the
+# budget *available to the FL task* (after OS, task stacks, and other
+# tenants), which is what binds model width on busy small devices;
+# ``compute_gmacs_s`` is likewise the share granted to training.
+PROFILE_TIERS = {
+    "server": HardwareProfile("server", compute_gmacs_s=2000.0,
+                              memory_mb=8000.0, energy_budget_mj=1e6,
+                              parallel_lanes=64),
+    "workstation": HardwareProfile("workstation", compute_gmacs_s=500.0,
+                                   memory_mb=100.0, energy_budget_mj=2e5,
+                                   parallel_lanes=16),
+    "jetson": HardwareProfile("jetson", compute_gmacs_s=2.0,
+                              memory_mb=0.05, energy_budget_mj=100.0,
+                              parallel_lanes=8),
+    "phone": HardwareProfile("phone", compute_gmacs_s=0.5,
+                             memory_mb=0.012, energy_budget_mj=20.0,
+                             parallel_lanes=4),
+    "mcu": HardwareProfile("mcu", compute_gmacs_s=0.02,
+                           memory_mb=0.006, energy_budget_mj=2.0,
+                           parallel_lanes=1),
+}
+
+
+def make_fleet(n_clients: int, tiers: Optional[List[str]] = None,
+               rng: Optional[np.random.Generator] = None
+               ) -> List[HardwareProfile]:
+    """Sample a heterogeneous fleet by cycling/sampling device tiers."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if tiers is None:
+        tiers = ["workstation", "jetson", "jetson", "phone", "phone", "mcu"]
+    names = [tiers[i % len(tiers)] for i in range(n_clients)]
+    rng.shuffle(names)
+    return [PROFILE_TIERS[name] for name in names]

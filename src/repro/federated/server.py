@@ -1,0 +1,159 @@
+"""Federated server: FedAvg rounds in four operating modes (Sec. VII).
+
+Modes, matching the Fig. 11 comparison:
+
+* ``fedavg`` — the static baseline: every client trains the full model
+  at full precision;
+* ``dcnas`` — per-client channel pruning (DC-NAS);
+* ``halo`` — per-client precision selection (HaLo-FL);
+* ``dcnas+halo`` — both adaptations composed.
+
+Every round reports test accuracy plus the fleet's summed energy,
+worst-client latency (the round's critical path), and summed silicon
+area, so relative reductions are read directly off the histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.losses import softmax
+from ..nn.quantize import PrecisionConfig
+from ..sim.datasets import ClassificationDataset
+from .client import FLClient, make_client_model, model_macs_per_sample
+from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
+from .halo import PrecisionSelector
+
+__all__ = ["RoundSummary", "FLServer", "MODES"]
+
+MODES = ("fedavg", "dcnas", "halo", "dcnas+halo")
+
+
+@dataclass
+class RoundSummary:
+    """Aggregate outcome of one federated round."""
+
+    round_index: int
+    test_accuracy: float
+    total_energy_mj: float
+    max_latency_ms: float
+    total_area_um2: float
+    mean_train_loss: float
+    client_hidden: List[int] = field(default_factory=list)
+    client_bits: List[int] = field(default_factory=list)
+
+
+class FLServer:
+    """Coordinates rounds over a fleet of :class:`FLClient`."""
+
+    def __init__(self, clients: Sequence[FLClient],
+                 test_data: ClassificationDataset,
+                 hidden: int = 32, mode: str = "fedavg",
+                 local_epochs: int = 1, lr: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if not clients:
+            raise ValueError("need at least one client")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.clients = list(clients)
+        self.test_data = test_data
+        self.mode = mode
+        self.hidden = hidden
+        self.local_epochs = local_epochs
+        self.lr = lr
+        self.rng = rng
+        input_dim = test_data.dim
+        n_classes = test_data.n_classes
+        template = make_client_model(input_dim, hidden, n_classes, rng=rng)
+        params = template.parameters()
+        self.global_weights: List[np.ndarray] = [p.data.copy() for p in params]
+        self._template = template
+        self.history: List[RoundSummary] = []
+        self._selector = PrecisionSelector()
+
+    # -------------------------------------------------------------- helpers
+    def _client_plan(self, client: FLClient):
+        """(hidden width, precision) for this client under the mode."""
+        input_dim = self.test_data.dim
+        n_classes = self.test_data.n_classes
+        if self.mode in ("dcnas", "dcnas+halo"):
+            hidden_used = select_hidden_width(client.profile, input_dim,
+                                              n_classes, self.hidden)
+        else:
+            hidden_used = self.hidden
+        if self.mode in ("halo", "dcnas+halo"):
+            macs = (3 * model_macs_per_sample(input_dim, hidden_used,
+                                              n_classes)
+                    * len(client.data) * self.local_epochs)
+            weights = slice_weights(self.global_weights, hidden_used)
+            precision = self._selector.select(
+                [weights[0], weights[2]], client.profile, macs)
+        else:
+            precision = PrecisionConfig.full_precision()
+        return hidden_used, precision
+
+    def evaluate(self) -> float:
+        """Global-model accuracy on the held-out test set."""
+        params = self._template.parameters()
+        for p, w in zip(params, self.global_weights):
+            p.data[...] = w
+        logits = self._template.forward(self.test_data.x)
+        pred = np.argmax(softmax(logits), axis=1)
+        return float((pred == self.test_data.y).mean())
+
+    # --------------------------------------------------------------- rounds
+    def run_round(self) -> RoundSummary:
+        """One full round: plan -> broadcast -> local train -> aggregate."""
+        client_updates: List[List[np.ndarray]] = []
+        client_hidden: List[int] = []
+        client_samples: List[int] = []
+        reports = []
+        for client in self.clients:
+            hidden_used, precision = self._client_plan(client)
+            weights = slice_weights(self.global_weights, hidden_used)
+            updated, report = client.local_train(
+                weights, hidden_used, precision,
+                epochs=self.local_epochs, lr=self.lr)
+            client_updates.append(updated)
+            client_hidden.append(hidden_used)
+            client_samples.append(report.n_samples)
+            reports.append(report)
+
+        self.global_weights = merge_subnetwork(
+            self.global_weights, client_updates, client_hidden,
+            client_samples)
+
+        summary = RoundSummary(
+            round_index=len(self.history),
+            test_accuracy=self.evaluate(),
+            total_energy_mj=sum(r.energy_mj for r in reports),
+            max_latency_ms=max(r.latency_ms for r in reports),
+            total_area_um2=sum(r.area_um2 for r in reports),
+            mean_train_loss=float(np.mean([r.train_loss for r in reports])),
+            client_hidden=client_hidden,
+            client_bits=[r.precision.mac_bits for r in reports],
+        )
+        self.history.append(summary)
+        return summary
+
+    def run(self, n_rounds: int) -> List[RoundSummary]:
+        for _ in range(n_rounds):
+            self.run_round()
+        return self.history
+
+    # ------------------------------------------------------------ reporting
+    def totals(self) -> Dict[str, float]:
+        """Accumulated resource totals and final accuracy."""
+        if not self.history:
+            raise RuntimeError("run at least one round first")
+        return {
+            "final_accuracy": self.history[-1].test_accuracy,
+            "energy_mj": sum(h.total_energy_mj for h in self.history),
+            "latency_ms": sum(h.max_latency_ms for h in self.history),
+            "area_um2": float(np.mean([h.total_area_um2
+                                       for h in self.history])),
+        }

@@ -1,0 +1,159 @@
+"""Edge-cloud speculative decoding on a toy character LM (Sec. VII).
+
+"Speculative decoding exemplifies how edge-cloud collaboration can
+enhance multi-agent systems ... the edge handles low-latency predictions,
+while the cloud refines and updates models."
+
+A small n-gram *draft* model (edge) proposes ``k`` tokens; the larger
+n-gram *target* model (cloud) verifies them in one batched call with the
+standard speculative-sampling acceptance rule (Leviathan et al.):
+accept token x with probability min(1, p(x)/q(x)); on the first
+rejection, resample from the residual distribution max(0, p - q).  The
+output distribution provably equals the target model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["NGramLM", "speculative_decode", "autoregressive_decode",
+           "SpeculativeStats"]
+
+
+class NGramLM:
+    """Add-alpha-smoothed n-gram character model over integer tokens."""
+
+    def __init__(self, vocab_size: int, order: int = 2, alpha: float = 0.1):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.vocab_size = vocab_size
+        self.order = order
+        self.alpha = alpha
+        self.counts: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def fit(self, tokens: Sequence[int]) -> "NGramLM":
+        tokens = list(tokens)
+        for i in range(len(tokens) - self.order):
+            ctx = tuple(tokens[i:i + self.order])
+            nxt = tokens[i + self.order]
+            if ctx not in self.counts:
+                self.counts[ctx] = np.zeros(self.vocab_size)
+            self.counts[ctx][nxt] += 1
+        return self
+
+    def distribution(self, context: Sequence[int]) -> np.ndarray:
+        """P(next | last ``order`` tokens), add-alpha smoothed."""
+        ctx = tuple(context[-self.order:])
+        counts = self.counts.get(ctx, np.zeros(self.vocab_size))
+        probs = counts + self.alpha
+        return probs / probs.sum()
+
+    def sample(self, context: Sequence[int],
+               rng: np.random.Generator) -> int:
+        return int(rng.choice(self.vocab_size,
+                              p=self.distribution(context)))
+
+
+@dataclass
+class SpeculativeStats:
+    """Outcome of one decode: tokens, calls, acceptance bookkeeping."""
+
+    tokens: List[int]
+    target_calls: int
+    draft_calls: int
+    accepted: int
+    proposed: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def tokens_per_target_call(self) -> float:
+        return len(self.tokens) / self.target_calls if self.target_calls else 0.0
+
+    def speedup_vs_autoregressive(self) -> float:
+        """Latency speedup assuming the target model dominates cost."""
+        return self.tokens_per_target_call
+
+
+def autoregressive_decode(target: NGramLM, prompt: Sequence[int],
+                          n_tokens: int,
+                          rng: Optional[np.random.Generator] = None
+                          ) -> SpeculativeStats:
+    """Baseline: one target call per generated token."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    context = list(prompt)
+    out: List[int] = []
+    for _ in range(n_tokens):
+        tok = target.sample(context, rng)
+        out.append(tok)
+        context.append(tok)
+    return SpeculativeStats(tokens=out, target_calls=n_tokens,
+                            draft_calls=0, accepted=0, proposed=0)
+
+
+def speculative_decode(target: NGramLM, draft: NGramLM,
+                       prompt: Sequence[int], n_tokens: int, k: int = 4,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> SpeculativeStats:
+    """Speculative sampling: draft proposes k, target verifies in one call."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    context = list(prompt)
+    out: List[int] = []
+    target_calls = draft_calls = accepted = proposed = 0
+    while len(out) < n_tokens:
+        # Draft proposes k tokens autoregressively (cheap, on-edge).
+        draft_ctx = list(context)
+        proposals: List[int] = []
+        draft_probs: List[float] = []
+        for _ in range(k):
+            q = draft.distribution(draft_ctx)
+            tok = int(rng.choice(target.vocab_size, p=q))
+            proposals.append(tok)
+            draft_probs.append(float(q[tok]))
+            draft_ctx.append(tok)
+            draft_calls += 1
+        # One (batched) target call verifies the whole block.
+        target_calls += 1
+        verify_ctx = list(context)
+        n_accepted = 0
+        for tok, q_tok in zip(proposals, draft_probs):
+            p = target.distribution(verify_ctx)
+            proposed += 1
+            if rng.random() < min(1.0, float(p[tok]) / max(q_tok, 1e-12)):
+                out.append(tok)
+                verify_ctx.append(tok)
+                accepted += 1
+                n_accepted += 1
+                if len(out) >= n_tokens:
+                    break
+            else:
+                # Residual resampling keeps the output distribution = p.
+                q = draft.distribution(verify_ctx)
+                residual = np.clip(p - q, 0.0, None)
+                total = residual.sum()
+                if total <= 0:
+                    tok_new = int(rng.choice(target.vocab_size, p=p))
+                else:
+                    tok_new = int(rng.choice(target.vocab_size,
+                                             p=residual / total))
+                out.append(tok_new)
+                verify_ctx.append(tok_new)
+                break
+        else:
+            # All k accepted: target grants one bonus token for free.
+            if len(out) < n_tokens:
+                p = target.distribution(verify_ctx)
+                bonus = int(rng.choice(target.vocab_size, p=p))
+                out.append(bonus)
+                verify_ctx.append(bonus)
+        context = verify_ctx
+    return SpeculativeStats(tokens=out[:n_tokens], target_calls=target_calls,
+                            draft_calls=draft_calls, accepted=accepted,
+                            proposed=proposed)

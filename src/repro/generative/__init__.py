@@ -1,0 +1,15 @@
+"""``repro.generative`` — generative sensing / R-MAE (Sec. III)."""
+
+from .rmae import (RMAE, Norm2d, RMAEConfig, pretrain_rmae,
+                   reconstruction_iou)
+from .baselines import PRETRAIN_METHODS, pretrain_also, pretrain_occmae
+from .energy_account import (EDGE_GPU_PJ_PER_FLOP, EnergyReport,
+                             compare_energy, energy_ratio,
+                             reconstruction_energy_mj)
+
+__all__ = [
+    "RMAE", "RMAEConfig", "Norm2d", "pretrain_rmae", "reconstruction_iou",
+    "pretrain_occmae", "pretrain_also", "PRETRAIN_METHODS",
+    "EnergyReport", "compare_energy", "energy_ratio",
+    "reconstruction_energy_mj", "EDGE_GPU_PJ_PER_FLOP",
+]

@@ -1,0 +1,85 @@
+"""Latency and silicon-area models per precision (HaLo-FL substrate).
+
+Fig. 11 reports relative latency and area reductions from precision
+selection; both follow standard digital-arithmetic scaling:
+
+* multiplier **area** grows ~quadratically with operand width;
+* MAC **latency** (at fixed clocking) grows ~linearly with width once the
+  datapath is width-serialized, and throughput per unit area follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MAC_LATENCY_NS", "MAC_AREA_UM2", "mac_latency_ns", "mac_area_um2",
+           "HardwareProfile"]
+
+# Latency of one MAC by operand width (ns, single lane at 1 GHz-class edge
+# accelerator; narrower operands allow higher SIMD packing so effective
+# per-MAC latency drops).
+MAC_LATENCY_NS: Dict[int, float] = {
+    32: 1.00,
+    16: 0.50,
+    8: 0.25,
+    4: 0.14,
+    2: 0.08,
+}
+
+# Area of one MAC unit by operand width (um^2, 45 nm class; ~quadratic).
+MAC_AREA_UM2: Dict[int, float] = {
+    32: 2000.0,
+    16: 560.0,
+    8: 160.0,
+    4: 48.0,
+    2: 16.0,
+}
+
+
+def mac_latency_ns(bits: int = 32) -> float:
+    if bits not in MAC_LATENCY_NS:
+        raise ValueError(f"no latency model for {bits}-bit MACs")
+    return MAC_LATENCY_NS[bits]
+
+
+def mac_area_um2(bits: int = 32) -> float:
+    if bits not in MAC_AREA_UM2:
+        raise ValueError(f"no area model for {bits}-bit MACs")
+    return MAC_AREA_UM2[bits]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Capability description of one edge client (Fig. 10).
+
+    Used by the federated frameworks to model heterogeneity: DC-NAS prunes
+    model topology to fit ``compute_gmacs_s`` and ``memory_mb``; HaLo-FL
+    picks precisions to fit ``energy_budget_mj`` per round.
+    """
+
+    name: str
+    compute_gmacs_s: float  # peak throughput, giga-MACs per second (fp32)
+    memory_mb: float        # usable parameter+activation memory
+    energy_budget_mj: float  # per-round energy budget
+    parallel_lanes: int = 1  # MAC lanes (scales throughput)
+
+    def __post_init__(self):
+        if self.compute_gmacs_s <= 0 or self.memory_mb <= 0:
+            raise ValueError("compute and memory must be positive")
+        if self.energy_budget_mj <= 0 or self.parallel_lanes < 1:
+            raise ValueError("invalid energy budget or lane count")
+
+    def inference_latency_ms(self, macs: int, bits: int = 32) -> float:
+        """Latency of ``macs`` at ``bits`` on this device, in ms."""
+        per_mac_ns = mac_latency_ns(bits) / self.parallel_lanes
+        # Throughput calibrated at fp32; narrower ops speed up by the
+        # latency ratio.
+        base_s = macs / (self.compute_gmacs_s * 1e9)
+        speedup = mac_latency_ns(32) / mac_latency_ns(bits)
+        return float(base_s / speedup * 1e3 + per_mac_ns * 1e-6)
+
+    def fits_model(self, params: int, weight_bits: int = 32) -> bool:
+        """Whether a model's weights fit in this client's memory."""
+        model_mb = params * weight_bits / 8.0 / 1e6
+        return model_mb <= self.memory_mb

@@ -1,0 +1,30 @@
+"""``repro.koopman`` — RoboKoop: spectral Koopman control (Sec. IV)."""
+
+from .spectral import SpectralKoopmanOperator
+from .lqr import (LQRController, finite_horizon_lqr, infinite_horizon_lqr,
+                  riccati_recursion)
+from .baselines import (MODEL_FAMILIES, MPC_HORIZON, MPC_SAMPLES,
+                        DenseKoopmanDynamics, DynamicsModel, MLPDynamics,
+                        RecurrentDynamics, SpectralKoopmanDynamics,
+                        TransformerDynamics, build_model, fig5a_macs,
+                        fit_dynamics_model)
+from .encoder import ContrastiveKoopmanEncoder
+from .sac import ReplayBuffer, SACAgent, SACConfig
+from .agent import (RoboKoopAgent, collect_transitions, evaluate_controller,
+                    make_controller, mpc_action, run_disturbance_experiment)
+from .timevarying import RecursiveKoopman
+from .uncertainty import ConformalPredictor, uncertainty_to_coverage
+
+__all__ = [
+    "SpectralKoopmanOperator",
+    "riccati_recursion", "finite_horizon_lqr", "infinite_horizon_lqr",
+    "LQRController",
+    "DynamicsModel", "MLPDynamics", "DenseKoopmanDynamics",
+    "TransformerDynamics", "RecurrentDynamics", "SpectralKoopmanDynamics",
+    "build_model", "fit_dynamics_model", "fig5a_macs", "MODEL_FAMILIES", "MPC_SAMPLES",
+    "MPC_HORIZON",
+    "ContrastiveKoopmanEncoder", "ReplayBuffer", "SACAgent", "SACConfig",
+    "RoboKoopAgent", "collect_transitions", "evaluate_controller",
+    "make_controller", "mpc_action", "run_disturbance_experiment",
+    "RecursiveKoopman", "ConformalPredictor", "uncertainty_to_coverage",
+]

@@ -1,0 +1,95 @@
+"""Time-varying Koopman operators (Sec. IV future work).
+
+"Future work could extend this framework to handle non-stationary
+dynamics by learning time-varying Koopman operators that adapt to
+environmental shifts, such as sensor degradation or task transitions."
+
+:class:`RecursiveKoopman` maintains the dense operator ``[A | B]`` with
+exponentially-forgetting recursive least squares: every observed
+transition updates the estimate in O(d^2), so the model tracks drifting
+dynamics online without storing history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RecursiveKoopman"]
+
+
+class RecursiveKoopman:
+    """Online RLS estimate of z' = A z + B u with forgetting.
+
+    Parameters
+    ----------
+    state_dim, action_dim:
+        Latent and control dimensions.
+    forgetting:
+        Exponential forgetting factor in (0, 1]; 1.0 = ordinary RLS
+        (stationary), smaller values track faster drift at the price of
+        estimation variance.
+    ridge:
+        Initial inverse-covariance scale (regularization).
+    """
+
+    def __init__(self, state_dim: int, action_dim: int,
+                 forgetting: float = 0.98, ridge: float = 1.0):
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting factor must be in (0, 1]")
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.forgetting = forgetting
+        d = state_dim + action_dim
+        # Row-wise shared-regressor RLS: theta is (d, state_dim).
+        self.theta = np.zeros((d, state_dim))
+        self.theta[:state_dim] = np.eye(state_dim)  # start at identity
+        self.p = np.eye(d) / ridge
+        self.updates = 0
+
+    # ---------------------------------------------------------- accessors
+    @property
+    def a(self) -> np.ndarray:
+        return self.theta[: self.state_dim].T
+
+    @property
+    def b(self) -> np.ndarray:
+        return self.theta[self.state_dim:].T
+
+    def predict(self, z: np.ndarray, u: np.ndarray) -> np.ndarray:
+        z, u = np.atleast_2d(z), np.atleast_2d(u)
+        return np.concatenate([z, u], axis=1) @ self.theta
+
+    def spectral_radius(self) -> float:
+        """Largest |eigenvalue| of the current A — a live stability
+        monitor for the tracked dynamics."""
+        return float(np.max(np.abs(np.linalg.eigvals(self.a))))
+
+    # ------------------------------------------------------------- update
+    def update(self, z: np.ndarray, u: np.ndarray,
+               z_next: np.ndarray) -> float:
+        """One RLS step on a single transition; returns the prediction
+        error (pre-update) for drift monitoring."""
+        x = np.concatenate([np.ravel(z), np.ravel(u)])
+        y = np.ravel(z_next)
+        err = y - x @ self.theta
+        lam = self.forgetting
+        px = self.p @ x
+        gain = px / (lam + x @ px)
+        self.theta = self.theta + np.outer(gain, err)
+        self.p = (self.p - np.outer(gain, px)) / lam
+        # Symmetrize against numerical drift.
+        self.p = 0.5 * (self.p + self.p.T)
+        self.updates += 1
+        return float(np.linalg.norm(err))
+
+    def update_batch(self, z: np.ndarray, u: np.ndarray,
+                     z_next: np.ndarray) -> float:
+        """Sequential updates over a batch; returns mean pre-update error."""
+        z, u, z_next = np.atleast_2d(z), np.atleast_2d(u), np.atleast_2d(z_next)
+        errors = [self.update(z[i], u[i], z_next[i])
+                  for i in range(z.shape[0])]
+        return float(np.mean(errors)) if errors else 0.0

@@ -1,0 +1,7 @@
+"""``repro.metrics`` — shared evaluation metrics (AUC, optical flow)."""
+
+from .auc import roc_auc, roc_curve
+from .flow import average_endpoint_error, flow_outlier_fraction
+
+__all__ = ["roc_auc", "roc_curve", "average_endpoint_error",
+           "flow_outlier_fraction"]

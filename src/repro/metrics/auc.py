@@ -1,0 +1,69 @@
+"""ROC / AUC utilities for anomaly-detection evaluation (Sec. V)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc"]
+
+
+def roc_curve(scores: Sequence[float], labels: Sequence[int]
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """False/true positive rates swept over all score thresholds.
+
+    ``labels``: 1 = anomalous (positive), 0 = nominal.  Higher scores
+    should indicate anomalies.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same shape")
+    if not np.all(np.isin(labels, (0, 1))):
+        raise ValueError("labels must be binary")
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    tps = np.cumsum(labels)
+    fps = np.cumsum(1 - labels)
+    n_pos = int(labels.sum())
+    n_neg = int(len(labels) - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("need both positive and negative samples")
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    return fpr, tpr
+
+
+def roc_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Area under the ROC curve via the Mann-Whitney statistic.
+
+    Exactly handles ties; 0.5 means the score cannot separate the
+    classes, 1.0 means perfect separation.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need both positive and negative samples")
+    # Rank-sum formulation with midranks for ties.
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty_like(combined)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    # midranks for ties
+    sorted_scores = combined[order]
+    i = 0
+    while i < combined.size:
+        j = i
+        while j + 1 < combined.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            mid = (i + j + 2) / 2.0
+            for k in range(i, j + 1):
+                ranks[order[k]] = mid
+        i = j + 1
+    rank_sum = ranks[: pos.size].sum()
+    u = rank_sum - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))

@@ -1,0 +1,108 @@
+"""ANN-to-SNN conversion (Sec. VI).
+
+One of the three training routes the paper lists for deep SNNs (besides
+learnable dynamics and surrogate gradients): train an ANN with ReLU, then
+map it to a rate-coded SNN by normalizing each layer's weights to its
+maximum activation so LIF firing rates approximate the ReLU activations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import Dense, Module, ReLU
+from ..nn.sequential import Sequential
+from .neurons import lif_step
+
+__all__ = ["activation_maxima", "convert_ann_to_snn", "RateCodedSNN"]
+
+
+def activation_maxima(net: Sequential, calibration: np.ndarray
+                      ) -> List[float]:
+    """Per-Dense-layer maximum post-activation over a calibration batch."""
+    maxima: List[float] = []
+    x = calibration
+    for layer in net.layers:
+        x = layer.forward(x)
+        if isinstance(layer, Dense):
+            maxima.append(float(np.max(np.abs(x))) or 1.0)
+    return maxima
+
+
+class RateCodedSNN:
+    """Rate-coded spiking execution of a converted ReLU MLP."""
+
+    def __init__(self, weights: Sequence[np.ndarray],
+                 biases: Sequence[np.ndarray], timesteps: int = 32,
+                 threshold: float = 1.0):
+        if len(weights) != len(biases):
+            raise ValueError("weights/biases length mismatch")
+        if timesteps < 1:
+            raise ValueError("need at least one timestep")
+        self.weights = [np.asarray(w) for w in weights]
+        self.biases = [np.asarray(b) for b in biases]
+        self.timesteps = timesteps
+        self.threshold = threshold
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Rate-decode the output layer over the simulation window.
+
+        Inputs are presented as constant currents; hidden layers spike;
+        the final layer integrates without firing (potential readout).
+        """
+        x = np.atleast_2d(x)
+        n = x.shape[0]
+        n_layers = len(self.weights)
+        potentials = [np.zeros((n, w.shape[1])) for w in self.weights]
+        spike_counts = np.zeros((n, self.weights[-1].shape[1]))
+        total_spikes = 0
+        inputs = x
+        for _ in range(self.timesteps):
+            layer_in = inputs
+            for li in range(n_layers):
+                current = layer_in @ self.weights[li] + self.biases[li] \
+                    / self.timesteps
+                if li < n_layers - 1:
+                    potentials[li], spikes = lif_step(
+                        potentials[li], current, 1.0, self.threshold)
+                    total_spikes += float(spikes.sum())
+                    layer_in = spikes
+                else:
+                    potentials[li] = potentials[li] + current
+            spike_counts += potentials[-1] / self.timesteps
+        self.total_spikes = total_spikes
+        return potentials[-1] / self.timesteps
+
+    def mean_spike_rate(self, x: np.ndarray) -> float:
+        """Average hidden spiking activity for the given batch."""
+        self.forward(x)
+        hidden_neurons = sum(w.shape[1] for w in self.weights[:-1])
+        denom = x.shape[0] * hidden_neurons * self.timesteps
+        return self.total_spikes / max(denom, 1)
+
+
+def convert_ann_to_snn(net: Sequential, calibration: np.ndarray,
+                       timesteps: int = 32) -> RateCodedSNN:
+    """Weight-normalized conversion of a Dense/ReLU Sequential to an SNN.
+
+    Each Dense layer's weights are scaled by the ratio of consecutive
+    layers' maximum activations, the standard data-based normalization
+    that preserves rate-coded equivalence.
+    """
+    dense_layers = [l for l in net.layers if isinstance(l, Dense)]
+    if not dense_layers:
+        raise ValueError("network has no Dense layers to convert")
+    maxima = activation_maxima(net, calibration)
+    weights, biases = [], []
+    prev_max = 1.0
+    for layer, act_max in zip(dense_layers, maxima):
+        scale_in = prev_max
+        scale_out = act_max
+        weights.append(layer.weight.data * (scale_in / scale_out))
+        bias = layer.bias.data if layer.bias is not None else \
+            np.zeros(layer.out_features)
+        biases.append(bias / scale_out)
+        prev_max = act_max
+    return RateCodedSNN(weights, biases, timesteps=timesteps)

@@ -1,0 +1,164 @@
+"""Spiking layers with surrogate-gradient BPTT (Sec. VI).
+
+:class:`SpikingConv2d` runs a shared convolution at every timestep and
+integrates the result through LIF dynamics.  Backward-through-time uses
+the triangular surrogate for the spike nonlinearity and propagates both
+the spatial (conv) and temporal (membrane) gradient paths.
+
+With ``learnable_dynamics=True`` the leak and threshold become trainable
+parameters (Adaptive-SpikeNet); otherwise they are fixed constants
+(Spike-FlowNet-style encoders).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Module
+from ..nn.tensor import Parameter
+from .neurons import surrogate_gradient
+
+__all__ = ["SpikingConv2d", "spike_rate"]
+
+
+def spike_rate(spike_train: np.ndarray) -> float:
+    """Mean firing rate of a (T, ...) spike train — the sparsity factor
+    in the SNN energy model."""
+    spike_train = np.asarray(spike_train)
+    if spike_train.size == 0:
+        return 0.0
+    return float(spike_train.mean())
+
+
+class SpikingConv2d(Module):
+    """Conv2d + LIF dynamics unrolled over T timesteps.
+
+    Input: (T, N, C_in, H, W) spike/current tensors.
+    Output: (T, N, C_out, H', W') spike tensors, plus the final membrane
+    potential via :attr:`last_membrane` (used by readout layers that
+    decode rates/potentials instead of spikes).
+    """
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int = 3,
+                 stride: int = 1, pad: int = 1, leak: float = 0.9,
+                 threshold: float = 1.0, surrogate_width: float = 1.0,
+                 learnable_dynamics: bool = False,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "sconv"):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv = Conv2d(in_ch, out_ch, kernel=kernel, stride=stride,
+                           pad=pad, rng=rng, name=f"{name}.conv")
+        self.learnable_dynamics = learnable_dynamics
+        self.surrogate_width = surrogate_width
+        if learnable_dynamics:
+            # Parameterize leak through a sigmoid and threshold through
+            # softplus so gradient steps cannot leave the valid ranges.
+            self.leak_raw = Parameter(
+                np.array([np.log(leak / (1 - leak))]), name=f"{name}.leak")
+            self.thr_raw = Parameter(
+                np.array([np.log(np.expm1(threshold))]), name=f"{name}.thr")
+        else:
+            self._leak_const = leak
+            self._thr_const = threshold
+        self._cache = None
+        self.last_membrane: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------ dynamics
+    def leak(self) -> float:
+        if self.learnable_dynamics:
+            return float(1.0 / (1.0 + np.exp(-self.leak_raw.data[0])))
+        return self._leak_const
+
+    def threshold(self) -> float:
+        if self.learnable_dynamics:
+            return float(np.logaddexp(0.0, self.thr_raw.data[0]))
+        return self._thr_const
+
+    # ------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError("spiking input must be (T, N, C, H, W)")
+        t_steps = x.shape[0]
+        leak, thr = self.leak(), self.threshold()
+        v = None
+        spikes_out: List[np.ndarray] = []
+        caches: List[tuple] = []
+        for t in range(t_steps):
+            current = self.conv.forward(x[t])
+            conv_cache = self.conv._cache
+            if v is None:
+                v = np.zeros_like(current)
+            v_pre = leak * v + current
+            s = (v_pre > thr).astype(np.float64)
+            v = v_pre - thr * s
+            spikes_out.append(s)
+            caches.append((conv_cache, v_pre, s))
+        self.last_membrane = v
+        self._cache = (x.shape, caches, leak, thr)
+        return np.stack(spikes_out)
+
+    def backward(self, grad: np.ndarray,
+                 grad_membrane: Optional[np.ndarray] = None) -> np.ndarray:
+        """BPTT: ``grad`` is (T, N, C', H', W') w.r.t. output spikes.
+
+        ``grad_membrane`` optionally adds a gradient on the *final*
+        membrane potential (for potential-readout heads).
+        """
+        x_shape, caches, leak, thr = self._cache
+        t_steps = len(caches)
+        grad_in = np.zeros(x_shape)
+        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
+                   else grad_membrane.copy())
+        for t in range(t_steps - 1, -1, -1):
+            conv_cache, v_pre, s = caches[t]
+            sg = surrogate_gradient(v_pre, thr, self.surrogate_width)
+            gs = grad[t]
+            # v[t] = v_pre - thr * s;  s = H(v_pre - thr)
+            # dL/dv_pre = dL/dv[t] * (1 - thr * sg) + dL/ds * sg
+            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
+            # Route through the conv at this timestep.
+            self.conv._cache = conv_cache
+            grad_in[t] = self.conv.backward(gv_pre)
+            # Temporal path to the previous membrane.
+            gv_next = gv_pre * leak
+
+        if self.learnable_dynamics:
+            d_leak, d_thr = self._dynamics_grads(grad, grad_membrane)
+            sig = 1.0 / (1.0 + np.exp(-self.leak_raw.data[0]))
+            self.leak_raw.grad += d_leak * sig * (1 - sig)
+            thr_sig = 1.0 / (1.0 + np.exp(-self.thr_raw.data[0]))
+            self.thr_raw.grad += d_thr * thr_sig
+        return grad_in
+
+    def _dynamics_grads(self, grad: np.ndarray,
+                        grad_membrane: Optional[np.ndarray]) -> Tuple[float, float]:
+        """dL/dleak and dL/dthreshold by reverse accumulation.
+
+        Reuses the cached per-step pre-reset potentials; membrane values
+        v[t] are reconstructed as v_pre[t] - thr * s[t].
+        """
+        _, caches, leak, thr = self._cache
+        t_steps = len(caches)
+        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
+                   else grad_membrane.copy())
+        d_leak = 0.0
+        d_thr = 0.0
+        for t in range(t_steps - 1, -1, -1):
+            _, v_pre, s = caches[t]
+            sg = surrogate_gradient(v_pre, thr, self.surrogate_width)
+            gs = grad[t]
+            # Explicit threshold dependence at this step: the reset term
+            # v[t] = v_pre - thr * s and the firing condition
+            # s = H(v_pre - thr) (whose surrogate derivative w.r.t. thr
+            # is -sg).
+            d_thr += float(np.sum(-gv_next * s) - np.sum(gs * sg)
+                           + np.sum(gv_next * thr * sg))
+            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
+            if t > 0:
+                _, v_pre_prev, s_prev = caches[t - 1]
+                v_prev = v_pre_prev - thr * s_prev
+                d_leak += float(np.sum(gv_pre * v_prev))
+            gv_next = gv_pre * leak
+        return d_leak, d_thr

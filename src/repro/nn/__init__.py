@@ -1,0 +1,37 @@
+"""``repro.nn`` — the from-scratch numpy neural-network substrate.
+
+Implements parameters, layers, losses, optimizers (including the
+gradient-free SPSA used by STARNet), VAEs, sparse 3-D convolution,
+precision-reconfigurable quantization, and analytic MAC/FLOP counting.
+"""
+
+from .tensor import Parameter, glorot_uniform, he_normal, orthogonal_init, zeros_init
+from .layers import (AvgPool2d, BatchNorm, Conv2d, ConvTranspose2d, Dense,
+                     Dropout, Flatten, GRUCell, Identity, LayerNorm,
+                     LeakyReLU, MaxPool2d, Module, ReLU, Sigmoid, Softplus,
+                     Tanh)
+from .sequential import Sequential, mlp
+from .losses import (bce_with_logits, cross_entropy_with_logits, gaussian_kl,
+                     huber_loss, info_nce, mse_loss, softmax)
+from .optim import SGD, SPSA, Adam, LoRAAdapter, clip_grad_norm
+from .counting import OpCount, count_conv2d, count_dense, count_macs, count_module
+from .quantize import SUPPORTED_BITS, PrecisionConfig, quantization_noise_power, quantize
+from .vae import VAE, train_vae
+from .sparse3d import (SparseConv3d, SparseGlobalPool, SparseReLU,
+                       SparseSequential, SparseVoxelTensor)
+
+__all__ = [
+    "Parameter", "glorot_uniform", "he_normal", "orthogonal_init", "zeros_init",
+    "Module", "Dense", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Softplus",
+    "Identity", "Dropout", "LayerNorm", "BatchNorm", "Flatten", "Conv2d",
+    "ConvTranspose2d", "MaxPool2d", "AvgPool2d", "GRUCell",
+    "Sequential", "mlp",
+    "mse_loss", "bce_with_logits", "softmax", "cross_entropy_with_logits",
+    "huber_loss", "info_nce", "gaussian_kl",
+    "SGD", "Adam", "SPSA", "LoRAAdapter", "clip_grad_norm",
+    "OpCount", "count_dense", "count_conv2d", "count_module", "count_macs",
+    "quantize", "quantization_noise_power", "PrecisionConfig", "SUPPORTED_BITS",
+    "VAE", "train_vae",
+    "SparseVoxelTensor", "SparseConv3d", "SparseReLU", "SparseGlobalPool",
+    "SparseSequential",
+]

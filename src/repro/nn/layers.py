@@ -1,0 +1,572 @@
+"""Core layers of the numpy NN substrate.
+
+Every layer implements an explicit ``forward``/``backward`` pair and caches
+whatever it needs for the backward pass on the instance.  Layers are
+deliberately stateful-but-simple: one in-flight forward at a time, which is
+all the training loops in this repository require.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Parameter, glorot_uniform, he_normal, zeros_init, orthogonal_init
+
+__all__ = [
+    "Module",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "Identity",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm",
+    "Flatten",
+    "Conv2d",
+    "ConvTranspose2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GRUCell",
+]
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register :class:`Parameter` instances as attributes or keep
+    child modules as attributes; :meth:`parameters` discovers both
+    recursively.
+    """
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        found: List[Parameter] = []
+        seen = set()
+        for value in vars(self).values():
+            self._collect(value, found, seen)
+        return found
+
+    def _collect(self, value, found: List[Parameter], seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            for p in value.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    found.append(p)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect(item, found, seen)
+
+    def modules(self) -> List["Module"]:
+        """This module plus all child modules, depth-first."""
+        found: List[Module] = [self]
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                found.extend(value.modules())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        found.extend(item.modules())
+        return found
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        params = self.parameters()
+        if trainable_only:
+            params = [p for p in params if p.trainable]
+        return sum(p.size for p in params)
+
+    def state_dict(self) -> dict:
+        """Flat name->array snapshot of all parameters (copies)."""
+        state = {}
+        for i, p in enumerate(self.parameters()):
+            state[f"{i}:{p.name}"] = p.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(params)} parameters"
+            )
+        for (key, value), p in zip(state.items(), params):
+            if value.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for {key}: {value.shape} vs {p.shape}")
+            p.data[...] = value
+
+
+class Dense(Module):
+    """Fully-connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 bias: bool = True, name: str = "dense"):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform(rng, in_features, out_features), name=f"{name}.weight"
+        )
+        self.bias = Parameter(zeros_init((out_features,)), name=f"{name}.bias") if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._x
+        # Collapse any leading batch dims for the weight gradient.
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ g2
+        if self.bias is not None:
+            self.bias.grad += g2.sum(axis=0)
+        return grad @ self.weight.data.T
+
+
+class ReLU(Module):
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.01):
+        self.slope = slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad, self.slope * grad)
+
+
+class Tanh(Module):
+    def __init__(self):
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._y ** 2)
+
+
+class Sigmoid(Module):
+    def __init__(self):
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._y * (1.0 - self._y)
+
+
+class Softplus(Module):
+    """Numerically stable softplus, used for positive outputs (variances)."""
+
+    def __init__(self):
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return np.logaddexp(0.0, x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad / (1.0 + np.exp(-np.clip(self._x, -60.0, 60.0)))
+
+
+class Identity(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln"):
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), name=f"{name}.beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        xhat = (x - mu) / np.sqrt(var + self.eps)
+        self._cache = (xhat, var)
+        return xhat * self.gamma.data + self.beta.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, var = self._cache
+        n = self.dim
+        self.gamma.grad += (grad * xhat).reshape(-1, n).sum(axis=0)
+        self.beta.grad += grad.reshape(-1, n).sum(axis=0)
+        gx = grad * self.gamma.data
+        inv = 1.0 / np.sqrt(var + self.eps)
+        return inv * (
+            gx
+            - gx.mean(axis=-1, keepdims=True)
+            - xhat * (gx * xhat).mean(axis=-1, keepdims=True)
+        )
+
+
+class BatchNorm(Module):
+    """Batch normalization over axis 0 (features on the last axis).
+
+    Works for 2-D inputs ``(batch, features)``; the decoder stacks in the
+    R-MAE occupancy decoder use it exactly this way after flattening
+    spatial dims into the batch.
+    """
+
+    def __init__(self, dim: int, momentum: float = 0.1, eps: float = 1e-5,
+                 name: str = "bn"):
+        self.dim = dim
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), name=f"{name}.beta")
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        flat = x.reshape(-1, self.dim)
+        if self.training:
+            mu = flat.mean(axis=0)
+            var = flat.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mu
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mu, var = self.running_mean, self.running_var
+        xhat = (x - mu) / np.sqrt(var + self.eps)
+        self._cache = (xhat, var, x.shape)
+        return xhat * self.gamma.data + self.beta.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, var, shape = self._cache
+        flat_g = grad.reshape(-1, self.dim)
+        flat_xhat = xhat.reshape(-1, self.dim)
+        m = flat_g.shape[0]
+        self.gamma.grad += (flat_g * flat_xhat).sum(axis=0)
+        self.beta.grad += flat_g.sum(axis=0)
+        gx = flat_g * self.gamma.data
+        inv = 1.0 / np.sqrt(var + self.eps)
+        dx = inv * (gx - gx.mean(axis=0) - flat_xhat * (gx * flat_xhat).mean(axis=0))
+        return dx.reshape(shape)
+
+
+class Flatten(Module):
+    def __init__(self):
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Rearrange image patches into columns for convolution-as-matmul."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    ho = (h + 2 * pad - kh) // stride + 1
+    wo = (w + 2 * pad - kw) // stride + 1
+    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * ho
+        for j in range(kw):
+            j_end = j + stride * wo
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, ho * wo), ho, wo
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int):
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    ho = (hp - kh) // stride + 1
+    wo = (wp - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, ho, wo)
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * ho
+        for j in range(kw):
+            j_end = j + stride * wo
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if pad:
+        x = x[:, :, pad:-pad, pad:-pad]
+    return x
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW) implemented via im2col."""
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int = 3, stride: int = 1,
+                 pad: int = 1, rng: Optional[np.random.Generator] = None,
+                 bias: bool = True, name: str = "conv"):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_ch, self.out_ch = in_ch, out_ch
+        self.kernel, self.stride, self.pad = kernel, stride, pad
+        fan_in = in_ch * kernel * kernel
+        self.weight = Parameter(
+            he_normal(rng, fan_in, (out_ch, in_ch, kernel, kernel)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(zeros_init((out_ch,)), name=f"{name}.bias") if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        w = self.weight.data.reshape(self.out_ch, -1)
+        out = np.einsum("of,nfp->nop", w, cols)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        self._cache = (x.shape, cols)
+        return out.reshape(x.shape[0], self.out_ch, ho, wo)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        n = grad.shape[0]
+        g = grad.reshape(n, self.out_ch, -1)
+        w = self.weight.data.reshape(self.out_ch, -1)
+        self.weight.grad += np.einsum("nop,nfp->of", g, cols).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 2))
+        dcols = np.einsum("of,nop->nfp", w, g)
+        return _col2im(dcols, x_shape, self.kernel, self.kernel, self.stride, self.pad)
+
+
+class ConvTranspose2d(Module):
+    """Transposed 2-D convolution (stride-2 upsampling in decoders).
+
+    Implemented as the gradient of a forward convolution, which is exactly
+    what transposed convolution is.
+    """
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int = 4, stride: int = 2,
+                 pad: int = 1, rng: Optional[np.random.Generator] = None,
+                 bias: bool = True, name: str = "deconv"):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_ch, self.out_ch = in_ch, out_ch
+        self.kernel, self.stride, self.pad = kernel, stride, pad
+        fan_in = in_ch * kernel * kernel
+        self.weight = Parameter(
+            he_normal(rng, fan_in, (in_ch, out_ch, kernel, kernel)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(zeros_init((out_ch,)), name=f"{name}.bias") if bias else None
+        self._cache = None
+
+    def out_size(self, h: int) -> int:
+        return (h - 1) * self.stride - 2 * self.pad + self.kernel
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        ho, wo = self.out_size(h), self.out_size(w)
+        wmat = self.weight.data.reshape(self.in_ch, -1)  # (in, out*k*k)
+        g = x.reshape(n, self.in_ch, -1)  # (n, in, h*w)
+        dcols = np.einsum("if,nip->nfp", wmat, g)
+        out = _col2im(dcols, (n, self.out_ch, ho, wo), self.kernel, self.kernel,
+                      self.stride, self.pad)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        self._cache = (x, (n, self.out_ch, ho, wo))
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, out_shape = self._cache
+        n = x.shape[0]
+        cols, ho, wo = _im2col(grad, self.kernel, self.kernel, self.stride, self.pad)
+        g = x.reshape(n, self.in_ch, -1)
+        self.weight.grad += np.einsum("nip,nfp->if", g, cols).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        wmat = self.weight.data.reshape(self.in_ch, -1)
+        dx = np.einsum("if,nfp->nip", wmat, cols)
+        return dx.reshape(x.shape)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int = 2, stride: Optional[int] = None):
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        n, c = x.shape[:2]
+        k2 = self.kernel * self.kernel
+        cols = cols.reshape(n, c, k2, ho * wo)
+        idx = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, idx[:, :, None, :], axis=2).squeeze(2)
+        self._cache = (x.shape, idx, ho, wo)
+        return out.reshape(n, c, ho, wo)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, idx, ho, wo = self._cache
+        n, c = x_shape[:2]
+        k2 = self.kernel * self.kernel
+        dcols = np.zeros((n, c, k2, ho * wo))
+        np.put_along_axis(dcols, idx[:, :, None, :], grad.reshape(n, c, 1, -1), axis=2)
+        return _col2im(dcols.reshape(n, c * k2, ho * wo), x_shape, self.kernel,
+                       self.kernel, self.stride, 0)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int = 2, stride: Optional[int] = None):
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        n, c = x.shape[:2]
+        k2 = self.kernel * self.kernel
+        out = cols.reshape(n, c, k2, ho * wo).mean(axis=2)
+        self._cache = (x.shape, ho, wo)
+        return out.reshape(n, c, ho, wo)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, ho, wo = self._cache
+        n, c = x_shape[:2]
+        k2 = self.kernel * self.kernel
+        dcols = np.repeat(grad.reshape(n, c, 1, -1) / k2, k2, axis=2)
+        return _col2im(dcols.reshape(n, c * k2, ho * wo), x_shape, self.kernel,
+                       self.kernel, self.stride, 0)
+
+
+class GRUCell(Module):
+    """Single GRU cell used by the recurrent-dynamics baseline (Fig. 5a).
+
+    Backward is implemented for a single step (sufficient for
+    truncated-BPTT-1 training of the latent dynamics baseline).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None, name: str = "gru"):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim, self.hidden_dim = input_dim, hidden_dim
+        d = input_dim + hidden_dim
+        self.w_z = Parameter(glorot_uniform(rng, d, hidden_dim), name=f"{name}.w_z")
+        self.w_r = Parameter(glorot_uniform(rng, d, hidden_dim), name=f"{name}.w_r")
+        self.w_h = Parameter(glorot_uniform(rng, d, hidden_dim), name=f"{name}.w_h")
+        self.b_z = Parameter(zeros_init((hidden_dim,)), name=f"{name}.b_z")
+        self.b_r = Parameter(zeros_init((hidden_dim,)), name=f"{name}.b_r")
+        self.b_h = Parameter(zeros_init((hidden_dim,)), name=f"{name}.b_h")
+        self._cache = None
+
+    @staticmethod
+    def _sig(x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+    def step(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        xh = np.concatenate([x, h], axis=-1)
+        z = self._sig(xh @ self.w_z.data + self.b_z.data)
+        r = self._sig(xh @ self.w_r.data + self.b_r.data)
+        xrh = np.concatenate([x, r * h], axis=-1)
+        hbar = np.tanh(xrh @ self.w_h.data + self.b_h.data)
+        h_new = (1 - z) * h + z * hbar
+        self._cache = (x, h, z, r, hbar, xh, xrh)
+        return h_new
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = np.zeros(x.shape[:-1] + (self.hidden_dim,))
+        return self.step(x, h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, h, z, r, hbar, xh, xrh = self._cache
+        dz = grad * (hbar - h) * z * (1 - z)
+        dhbar = grad * z * (1 - hbar ** 2)
+        dxrh = dhbar @ self.w_h.data.T
+        self.w_h.grad += xrh.reshape(-1, xrh.shape[-1]).T @ dhbar.reshape(-1, self.hidden_dim)
+        self.b_h.grad += dhbar.reshape(-1, self.hidden_dim).sum(axis=0)
+        dx_h = dxrh[..., : self.input_dim]
+        drh = dxrh[..., self.input_dim:]
+        dr = drh * h * r * (1 - r)
+        dxh = dz @ self.w_z.data.T + dr @ self.w_r.data.T
+        self.w_z.grad += xh.reshape(-1, xh.shape[-1]).T @ dz.reshape(-1, self.hidden_dim)
+        self.b_z.grad += dz.reshape(-1, self.hidden_dim).sum(axis=0)
+        self.w_r.grad += xh.reshape(-1, xh.shape[-1]).T @ dr.reshape(-1, self.hidden_dim)
+        self.b_r.grad += dr.reshape(-1, self.hidden_dim).sum(axis=0)
+        return dx_h + dxh[..., : self.input_dim]

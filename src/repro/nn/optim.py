@@ -1,0 +1,213 @@
+"""Optimizers: SGD, Adam, the gradient-free SPSA used by STARNet, and LoRA.
+
+SPSA (Simultaneous Perturbation Stochastic Approximation) estimates a full
+gradient from two function evaluations regardless of dimension, which is
+why STARNet (Sec. V) uses it to compute likelihood regret on low-power edge
+devices where backprop through the VAE is too expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["SGD", "Adam", "SPSA", "LoRAAdapter", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        self.params = [p for p in params]
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if not p.trainable:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        self.params = [p for p in params]
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1 ** self._t
+        b2t = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if not p.trainable:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SPSA:
+    """Simultaneous Perturbation Stochastic Approximation.
+
+    Minimizes a scalar objective ``f(theta)`` using only function
+    evaluations: each step perturbs *all* coordinates simultaneously with a
+    Rademacher vector ``delta`` and estimates the gradient as
+    ``(f(theta + c*delta) - f(theta - c*delta)) / (2*c) * delta^{-1}``.
+
+    Two evaluations per step, independent of dimension — the property that
+    makes likelihood-regret affordable on edge hardware (Sec. V).
+    """
+
+    def __init__(self, a: float = 0.1, c: float = 0.05, alpha: float = 0.602,
+                 gamma: float = 0.101, a_stability: float = 10.0,
+                 normalize_gradient: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.a_stability = a_stability
+        # Normalized-gradient SPSA: step along ghat / ||ghat||.  Makes the
+        # step schedule independent of the objective's scale — essential
+        # when the same optimizer must handle in-distribution inputs
+        # (flat, small objective) and OOD inputs (steep, huge objective).
+        self.normalize_gradient = normalize_gradient
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def minimize(self, f: Callable[[np.ndarray], float], theta0: np.ndarray,
+                 steps: int = 50) -> tuple:
+        """Run ``steps`` SPSA iterations from ``theta0``.
+
+        Returns ``(theta_best, f_best, history)`` where ``history`` is the
+        list of objective values at each iterate.
+        """
+        theta = np.asarray(theta0, dtype=np.float64).copy()
+        best = theta.copy()
+        f_best = float(f(theta))
+        history: List[float] = [f_best]
+        for k in range(steps):
+            ak = self.a / (k + 1 + self.a_stability) ** self.alpha
+            ck = self.c / (k + 1) ** self.gamma
+            delta = self.rng.choice([-1.0, 1.0], size=theta.shape)
+            f_plus = float(f(theta + ck * delta))
+            f_minus = float(f(theta - ck * delta))
+            ghat = (f_plus - f_minus) / (2.0 * ck) * delta
+            if self.normalize_gradient:
+                norm = float(np.linalg.norm(ghat))
+                if norm > 0:
+                    ghat = ghat / norm
+            theta = theta - ak * ghat
+            val = float(f(theta))
+            history.append(val)
+            if val < f_best:
+                f_best = val
+                best = theta.copy()
+        return best, f_best, history
+
+    def evaluations_per_step(self) -> int:
+        """Objective evaluations per iteration (2 perturbed + 1 tracking)."""
+        return 3
+
+
+class LoRAAdapter:
+    """Low-Rank Adaptation of a frozen Dense weight (Sec. V).
+
+    Wraps a base weight ``W`` (frozen) with a trainable low-rank update
+    ``W_eff = W + (alpha / r) * A @ B`` where ``A`` is ``(in, r)`` and ``B``
+    is ``(r, out)``.  STARNet uses this for efficient on-device fine-tuning
+    of the VAE when the sensor distribution drifts: only
+    ``r * (in + out)`` parameters are updated instead of ``in * out``.
+    """
+
+    def __init__(self, base: Parameter, rank: int = 4, alpha: float = 8.0,
+                 rng: Optional[np.random.Generator] = None):
+        if base.data.ndim != 2:
+            raise ValueError("LoRAAdapter wraps 2-D weight matrices")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        in_dim, out_dim = base.data.shape
+        self.base = base
+        self.base.trainable = False
+        self.rank = rank
+        self.alpha = alpha
+        self.scale = alpha / rank
+        # A ~ N(0, 1/r), B = 0 so the adapter starts as the identity update.
+        self.lora_a = Parameter(rng.normal(0, 1.0 / rank, size=(in_dim, rank)),
+                                name=f"{base.name}.lora_a")
+        self.lora_b = Parameter(np.zeros((rank, out_dim)),
+                                name=f"{base.name}.lora_b")
+
+    def effective_weight(self) -> np.ndarray:
+        return self.base.data + self.scale * (self.lora_a.data @ self.lora_b.data)
+
+    def apply(self) -> None:
+        """Materialize the adapted weight into the base parameter."""
+        self.base.data = self.effective_weight()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.effective_weight()
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x2 = self._x.reshape(-1, self.base.data.shape[0])
+        g2 = grad.reshape(-1, self.base.data.shape[1])
+        dw = x2.T @ g2
+        self.lora_a.grad += self.scale * dw @ self.lora_b.data.T
+        self.lora_b.grad += self.scale * self.lora_a.data.T @ dw
+        return grad @ self.effective_weight().T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.lora_a, self.lora_b]
+
+    def trainable_fraction(self) -> float:
+        """Fraction of parameters actually updated vs full fine-tuning."""
+        full = self.base.size
+        return (self.lora_a.size + self.lora_b.size) / full

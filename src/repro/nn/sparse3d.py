@@ -1,0 +1,205 @@
+"""Sparse 3-D submanifold convolution on voxel dictionaries.
+
+The R-MAE encoder (Sec. III) "processes only non-empty voxels, preserving
+geometric structure while reducing memory usage".  We represent a sparse
+voxel tensor as a mapping ``(i, j, k) -> feature vector`` and implement
+submanifold convolution: outputs exist only at input-active sites, so
+sparsity is preserved through the network (the defining property of
+spconv-style encoders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Module
+from .tensor import Parameter, he_normal, zeros_init
+
+__all__ = ["SparseVoxelTensor", "SparseConv3d", "SparseReLU",
+           "SparseGlobalPool", "SparseSequential"]
+
+Coord = Tuple[int, int, int]
+
+
+class SparseVoxelTensor:
+    """Features attached to a sparse set of integer voxel coordinates."""
+
+    def __init__(self, features: Dict[Coord, np.ndarray], channels: int,
+                 grid_shape: Tuple[int, int, int]):
+        self.features = features
+        self.channels = channels
+        self.grid_shape = grid_shape
+
+    @staticmethod
+    def from_coords(coords: Sequence[Coord], channels: int,
+                    grid_shape: Tuple[int, int, int],
+                    values: Optional[np.ndarray] = None) -> "SparseVoxelTensor":
+        """Build from a coordinate list; default feature is all-ones."""
+        feats: Dict[Coord, np.ndarray] = {}
+        for idx, c in enumerate(coords):
+            if values is not None:
+                feats[tuple(c)] = np.asarray(values[idx], dtype=np.float64)
+            else:
+                feats[tuple(c)] = np.ones(channels, dtype=np.float64)
+        return SparseVoxelTensor(feats, channels, grid_shape)
+
+    @property
+    def num_active(self) -> int:
+        return len(self.features)
+
+    def coords(self) -> List[Coord]:
+        return list(self.features.keys())
+
+    def dense(self) -> np.ndarray:
+        """Materialize to a dense (C, X, Y, Z) array."""
+        out = np.zeros((self.channels,) + self.grid_shape)
+        for (i, j, k), f in self.features.items():
+            out[:, i, j, k] = f
+        return out
+
+    def feature_matrix(self) -> Tuple[List[Coord], np.ndarray]:
+        """Coordinates and a (N, C) stacked feature matrix, sorted."""
+        coords = sorted(self.features.keys())
+        if not coords:
+            return coords, np.zeros((0, self.channels))
+        mat = np.stack([self.features[c] for c in coords])
+        return coords, mat
+
+
+def _kernel_offsets(kernel: int) -> List[Coord]:
+    r = kernel // 2
+    return [(dx, dy, dz)
+            for dx in range(-r, r + 1)
+            for dy in range(-r, r + 1)
+            for dz in range(-r, r + 1)]
+
+
+class SparseConv3d(Module):
+    """Submanifold sparse 3-D convolution.
+
+    Output features are computed only at the sites that are active in the
+    input; each output gathers contributions from active neighbours within
+    the kernel footprint.  ``stride`` > 1 downsamples the coordinate grid
+    (coordinates are floor-divided), merging features that land on the
+    same coarse cell.
+    """
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int = 3,
+                 stride: int = 1, rng: Optional[np.random.Generator] = None,
+                 name: str = "spconv"):
+        if kernel % 2 == 0:
+            raise ValueError("submanifold convolution needs an odd kernel")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_ch, self.out_ch = in_ch, out_ch
+        self.kernel, self.stride = kernel, stride
+        self.offsets = _kernel_offsets(kernel)
+        fan_in = in_ch * len(self.offsets)
+        self.weight = Parameter(
+            he_normal(rng, fan_in, (len(self.offsets), in_ch, out_ch)),
+            name=f"{name}.weight")
+        self.bias = Parameter(zeros_init((out_ch,)), name=f"{name}.bias")
+        self._cache = None
+
+    def forward(self, x: SparseVoxelTensor) -> SparseVoxelTensor:
+        feats = x.features
+        out_sites: Dict[Coord, np.ndarray] = {}
+        # (output coord) -> list of (offset index, input coord) contributions
+        gather: Dict[Coord, List[Tuple[int, Coord]]] = {}
+        s = self.stride
+        for (i, j, k) in feats:
+            oc = (i // s, j // s, k // s) if s > 1 else (i, j, k)
+            if oc not in gather:
+                gather[oc] = []
+        for oc, contribs in gather.items():
+            ci, cj, ck = (oc[0] * s, oc[1] * s, oc[2] * s)
+            for oi, (dx, dy, dz) in enumerate(self.offsets):
+                nb = (ci + dx, cj + dy, ck + dz)
+                if nb in feats:
+                    contribs.append((oi, nb))
+        for oc, contribs in gather.items():
+            acc = self.bias.data.copy()
+            for oi, nb in contribs:
+                acc = acc + feats[nb] @ self.weight.data[oi]
+            out_sites[oc] = acc
+        shape = x.grid_shape if s == 1 else tuple(
+            max(1, d // s) for d in x.grid_shape)
+        self._cache = (x, gather)
+        return SparseVoxelTensor(out_sites, self.out_ch, shape)
+
+    def backward(self, grad: Dict[Coord, np.ndarray]) -> Dict[Coord, np.ndarray]:
+        """Backward pass; ``grad`` maps output coords to dL/d(out feature)."""
+        x, gather = self._cache
+        din: Dict[Coord, np.ndarray] = {
+            c: np.zeros(self.in_ch) for c in x.features}
+        for oc, g in grad.items():
+            if oc not in gather:
+                continue
+            self.bias.grad += g
+            for oi, nb in gather[oc]:
+                self.weight.grad[oi] += np.outer(x.features[nb], g)
+                din[nb] += self.weight.data[oi] @ g
+        return din
+
+    def macs_per_active_voxel(self, mean_neighbors: float | None = None) -> int:
+        """Analytic MACs per active output voxel.
+
+        If ``mean_neighbors`` is omitted, assumes a full kernel footprint
+        (the dense upper bound).
+        """
+        n = len(self.offsets) if mean_neighbors is None else mean_neighbors
+        return int(n * self.in_ch * self.out_ch)
+
+
+class SparseReLU(Module):
+    def __init__(self):
+        self._mask: Dict[Coord, np.ndarray] = {}
+
+    def forward(self, x: SparseVoxelTensor) -> SparseVoxelTensor:
+        out = {}
+        self._mask = {}
+        for c, f in x.features.items():
+            m = f > 0
+            self._mask[c] = m
+            out[c] = np.where(m, f, 0.0)
+        return SparseVoxelTensor(out, x.channels, x.grid_shape)
+
+    def backward(self, grad: Dict[Coord, np.ndarray]) -> Dict[Coord, np.ndarray]:
+        return {c: g * self._mask.get(c, 0.0) for c, g in grad.items()}
+
+
+class SparseGlobalPool(Module):
+    """Mean-pool all active voxels into a single latent vector."""
+
+    def __init__(self):
+        self._cache = None
+
+    def forward(self, x: SparseVoxelTensor) -> np.ndarray:
+        coords, mat = x.feature_matrix()
+        self._cache = (coords, x.channels, max(len(coords), 1))
+        if not coords:
+            return np.zeros(x.channels)
+        return mat.mean(axis=0)
+
+    def backward(self, grad: np.ndarray) -> Dict[Coord, np.ndarray]:
+        coords, channels, n = self._cache
+        share = grad / n
+        return {c: share.copy() for c in coords}
+
+
+class SparseSequential(Module):
+    """Sequential container whose layers speak sparse tensors / dict grads."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad):
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

@@ -1,0 +1,123 @@
+"""Variational Autoencoder on feature vectors (STARNet's density model).
+
+STARNet (Sec. V) models the distribution of intermediate task-network
+features with a VAE and flags inputs whose likelihood-regret is large.
+This VAE works on flat feature vectors: encoder -> (mu, logvar) ->
+reparameterize -> decoder -> Gaussian reconstruction likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Dense, Module, ReLU
+from .losses import gaussian_kl, mse_loss
+from .optim import Adam
+from .sequential import Sequential, mlp
+
+__all__ = ["VAE", "train_vae"]
+
+
+class VAE(Module):
+    """Gaussian-latent, Gaussian-observation VAE for feature vectors."""
+
+    def __init__(self, input_dim: int, latent_dim: int = 8,
+                 hidden: Sequence[int] = (64, 32),
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.rng = rng
+        self.encoder = mlp([input_dim, *hidden], rng=rng, name="vae.enc")
+        # The encoder trunk ends in an activation; heads map to mu/logvar.
+        self.enc_act = ReLU()
+        self.mu_head = Dense(hidden[-1], latent_dim, rng=rng, name="vae.mu")
+        self.logvar_head = Dense(hidden[-1], latent_dim, rng=rng, name="vae.logvar")
+        self.decoder = mlp([latent_dim, *reversed(hidden), input_dim], rng=rng,
+                           name="vae.dec")
+        self._cache = None
+
+    def encode(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        h = self.enc_act(self.encoder(x))
+        return self.mu_head(h), self.logvar_head(h)
+
+    def reparameterize(self, mu: np.ndarray, logvar: np.ndarray,
+                       eps: Optional[np.ndarray] = None) -> np.ndarray:
+        if eps is None:
+            eps = self.rng.standard_normal(mu.shape)
+        return mu + np.exp(0.5 * np.clip(logvar, -30, 30)) * eps
+
+    def decode(self, z: np.ndarray) -> np.ndarray:
+        return self.decoder(z)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu, logvar = self.encode(x)
+        z = self.reparameterize(mu, logvar)
+        return self.decode(z)
+
+    def elbo(self, x: np.ndarray, beta: float = 1.0,
+             n_samples: int = 1) -> float:
+        """Evidence lower bound (negated loss), averaged over the batch.
+
+        Higher is better.  Used directly as the likelihood proxy in the
+        regret computation.
+        """
+        mu, logvar = self.encode(x)
+        recon_total = 0.0
+        for _ in range(n_samples):
+            z = self.reparameterize(mu, logvar)
+            recon = self.decode(z)
+            recon_total += -np.mean(np.sum((recon - x) ** 2, axis=-1))
+        recon_term = recon_total / n_samples
+        kl, _, _ = gaussian_kl(mu, logvar)
+        return float(recon_term - beta * kl)
+
+    def loss_and_grads(self, x: np.ndarray, beta: float = 1.0) -> float:
+        """One training step's loss; accumulates gradients on parameters."""
+        h_enc = self.encoder(x)
+        h = self.enc_act(h_enc)
+        mu = self.mu_head(h)
+        logvar = self.logvar_head(h)
+        eps = self.rng.standard_normal(mu.shape)
+        std = np.exp(0.5 * np.clip(logvar, -30, 30))
+        z = mu + std * eps
+        recon = self.decoder(z)
+
+        recon_loss, d_recon = mse_loss(recon, x)
+        # Scale so the reconstruction term is summed over dims, mean over batch
+        # (the standard VAE convention) rather than mean over all elements.
+        scale = x.shape[-1]
+        recon_loss *= scale
+        d_recon = d_recon * scale
+        kl, d_mu_kl, d_logvar_kl = gaussian_kl(mu, logvar)
+
+        dz = self.decoder.backward(d_recon)
+        d_mu = dz + d_mu_kl * beta
+        d_logvar = dz * eps * std * 0.5 + d_logvar_kl * beta
+        dh = self.mu_head.backward(d_mu) + self.logvar_head.backward(d_logvar)
+        self.encoder.backward(self.enc_act.backward(dh))
+        return float(recon_loss + beta * kl)
+
+
+def train_vae(vae: VAE, data: np.ndarray, epochs: int = 30,
+              batch_size: int = 32, lr: float = 1e-3, beta: float = 1.0,
+              rng: Optional[np.random.Generator] = None) -> list:
+    """Train a VAE on feature rows; returns per-epoch mean losses."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    opt = Adam(vae.parameters(), lr=lr)
+    n = data.shape[0]
+    losses = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, n, batch_size):
+            batch = data[order[start:start + batch_size]]
+            opt.zero_grad()
+            loss = vae.loss_and_grads(batch, beta=beta)
+            opt.step()
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return losses

@@ -1,0 +1,37 @@
+"""``repro.sim`` — environment substrates replacing the paper's datasets.
+
+Procedural street scenes + raycast LiDAR (KITTI substitute), the
+corruption suite (KITTI-C substitute), cart-pole with disturbances, the
+DVS event-camera simulator (MVSEC substitute), synthetic classification
+data with federated sharding (CIFAR-10 substitute), and the multi-agent
+coverage gridworld.
+"""
+
+from .scenes import (CLASS_DIMENSIONS, CLASS_NAMES, Scene, SceneObject,
+                     sample_dataset, sample_scene)
+from .lidar import LidarConfig, LidarScan, LidarScanner
+from .corruptions import (CORRUPTIONS, apply_corruption, beam_missing,
+                          corruption_names, cross_sensor, crosstalk, fog,
+                          motion_blur, rain, snow)
+from .cartpole import (CartPole, CartPoleParams, DisturbanceProcess,
+                       render_observation)
+from .events import (EventCameraConfig, EventCameraSimulator, FlowSample,
+                     make_flow_dataset)
+from .datasets import (ClassificationDataset, make_synthetic_cifar,
+                       shard_dirichlet, shard_iid)
+from .gridworld import AgentState, CoverageGridWorld, GridWorldConfig
+
+__all__ = [
+    "CLASS_NAMES", "CLASS_DIMENSIONS", "Scene", "SceneObject",
+    "sample_scene", "sample_dataset",
+    "LidarConfig", "LidarScan", "LidarScanner",
+    "CORRUPTIONS", "apply_corruption", "corruption_names",
+    "snow", "rain", "fog", "beam_missing", "motion_blur", "crosstalk",
+    "cross_sensor",
+    "CartPole", "CartPoleParams", "DisturbanceProcess", "render_observation",
+    "EventCameraConfig", "EventCameraSimulator", "FlowSample",
+    "make_flow_dataset",
+    "ClassificationDataset", "make_synthetic_cifar", "shard_iid",
+    "shard_dirichlet",
+    "AgentState", "CoverageGridWorld", "GridWorldConfig",
+]

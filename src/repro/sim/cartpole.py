@@ -1,0 +1,180 @@
+"""Cart-pole with external force disturbances and a visual renderer.
+
+Fig. 5b evaluates RoboKoop on a cart-pole where "an external force
+F ~ Uniform(a_min, a_max) [is applied] during evaluation, with a
+disturbance probability p".  This module provides:
+
+* full nonlinear cart-pole dynamics (pole on a cart, RK-free
+  semi-implicit Euler at a fixed control rate);
+* a :class:`DisturbanceProcess` matching the paper's uniform-force model;
+* a coarse visual renderer producing image-like observations so visual
+  encoders (the Koopman contrastive encoder) have something to embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CartPoleParams", "DisturbanceProcess", "CartPole",
+           "render_observation"]
+
+
+@dataclass(frozen=True)
+class CartPoleParams:
+    """Physical constants of the cart-pole (classic Barto values)."""
+
+    gravity: float = 9.8
+    cart_mass: float = 1.0
+    pole_mass: float = 0.1
+    pole_half_length: float = 0.5
+    force_mag: float = 10.0
+    dt: float = 0.02
+    x_limit: float = 2.4
+    theta_limit_rad: float = 12.0 * np.pi / 180.0 * 2  # generous swing band
+
+
+@dataclass
+class DisturbanceProcess:
+    """External force F ~ Uniform(a_min, a_max) applied with probability p.
+
+    At each control step, with probability ``p`` a horizontal force drawn
+    uniformly from ``[a_min, a_max]`` (random sign) is added to the cart.
+    """
+
+    p: float = 0.0
+    a_min: float = 2.0
+    a_max: float = 8.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("disturbance probability must be in [0, 1]")
+        if self.a_min > self.a_max:
+            raise ValueError("a_min must not exceed a_max")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.p == 0.0 or rng.random() >= self.p:
+            return 0.0
+        mag = rng.uniform(self.a_min, self.a_max)
+        return float(mag if rng.random() < 0.5 else -mag)
+
+
+class CartPole:
+    """Continuous-action cart-pole balancing task.
+
+    State: ``[x, x_dot, theta, theta_dot]`` with ``theta = 0`` upright.
+    Action: scalar in [-1, 1], scaled by ``force_mag``.
+    Reward: +1 per step inside the position/angle band, 0 outside
+    (episode terminates).  Matches the dense balancing reward used for
+    the RoboKoop cart-pole comparison.
+    """
+
+    state_dim = 4
+    action_dim = 1
+
+    def __init__(self, params: Optional[CartPoleParams] = None,
+                 disturbance: Optional[DisturbanceProcess] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.params = params or CartPoleParams()
+        self.disturbance = disturbance or DisturbanceProcess(p=0.0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.state = np.zeros(4)
+        self.steps = 0
+
+    def reset(self, noise_scale: float = 0.05) -> np.ndarray:
+        """Reset near the upright equilibrium with small random offsets."""
+        self.state = self.rng.uniform(-noise_scale, noise_scale, size=4)
+        self.steps = 0
+        return self.state.copy()
+
+    def _accelerations(self, state: np.ndarray, force: float) -> Tuple[float, float]:
+        p = self.params
+        x, x_dot, theta, theta_dot = state
+        total_mass = p.cart_mass + p.pole_mass
+        pm_l = p.pole_mass * p.pole_half_length
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        temp = (force + pm_l * theta_dot ** 2 * sin_t) / total_mass
+        theta_acc = (p.gravity * sin_t - cos_t * temp) / (
+            p.pole_half_length * (4.0 / 3.0 - p.pole_mass * cos_t ** 2 / total_mass))
+        x_acc = temp - pm_l * theta_acc * cos_t / total_mass
+        return x_acc, theta_acc
+
+    def step(self, action: float) -> Tuple[np.ndarray, float, bool]:
+        """Advance one control step; returns ``(state, reward, done)``."""
+        p = self.params
+        a = float(np.clip(action, -1.0, 1.0))
+        force = a * p.force_mag + self.disturbance.sample(self.rng)
+        x_acc, theta_acc = self._accelerations(self.state, force)
+        x, x_dot, theta, theta_dot = self.state
+        # Semi-implicit Euler keeps the pole stable at this dt.
+        x_dot = x_dot + p.dt * x_acc
+        theta_dot = theta_dot + p.dt * theta_acc
+        x = x + p.dt * x_dot
+        theta = theta + p.dt * theta_dot
+        self.state = np.array([x, x_dot, theta, theta_dot])
+        self.steps += 1
+        in_band = (abs(x) <= p.x_limit and abs(theta) <= p.theta_limit_rad)
+        # Shaped balancing reward: 1 at upright-centered, decaying with
+        # angle/offset, 0 out of band.
+        if in_band:
+            reward = float(np.cos(theta) - 0.05 * abs(x))
+        else:
+            reward = 0.0
+        return self.state.copy(), reward, not in_band
+
+    def linearized_dynamics(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(A, B) of the dynamics linearized about the upright fixed point.
+
+        Used as the ground-truth reference the Koopman embedding should
+        approximately recover, and by the LQR unit tests.
+        """
+        p = self.params
+        total = p.cart_mass + p.pole_mass
+        denom = p.pole_half_length * (4.0 / 3.0 - p.pole_mass / total)
+        a_tt = p.gravity / denom
+        a_xt = -p.pole_mass * p.pole_half_length * a_tt / total
+        b_t = -1.0 / (total * denom)
+        b_x = 1.0 / total - p.pole_mass * p.pole_half_length * b_t / total
+        a_cont = np.array([
+            [0, 1, 0, 0],
+            [0, 0, a_xt, 0],
+            [0, 0, 0, 1],
+            [0, 0, a_tt, 0],
+        ])
+        b_cont = np.array([[0.0], [b_x], [0.0], [b_t]]) * p.force_mag
+        # Discretize (forward Euler at the control dt).
+        a_disc = np.eye(4) + p.dt * a_cont
+        b_disc = p.dt * b_cont
+        return a_disc, b_disc
+
+
+def render_observation(state: np.ndarray, size: int = 24,
+                       crop_jitter: int = 0,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Render the cart-pole state into a coarse grayscale image.
+
+    Draws the cart as a bright block on a track row and the pole as a
+    line of pixels; this gives visual encoders genuine spatial structure
+    to learn from.  ``crop_jitter`` shifts the viewport by up to that many
+    pixels — the random-crop augmentation of the contrastive encoder.
+    """
+    img = np.zeros((size, size))
+    jitter = 0
+    if crop_jitter and rng is not None:
+        jitter = int(rng.integers(-crop_jitter, crop_jitter + 1))
+    x, _, theta, _ = state
+    track_row = int(size * 0.75)
+    cart_col = int(np.clip((x / 2.4 + 1.0) / 2.0 * (size - 1) + jitter,
+                           1, size - 2))
+    img[track_row, :] = 0.15
+    img[track_row - 1:track_row + 1, cart_col - 1:cart_col + 2] = 1.0
+    # Pole pixels from the cart upward along angle theta.
+    pole_len = size * 0.55
+    for frac in np.linspace(0.0, 1.0, size):
+        r = frac * pole_len
+        col = int(np.clip(cart_col + r * np.sin(theta), 0, size - 1))
+        row = int(np.clip(track_row - 1 - r * np.cos(theta), 0, size - 1))
+        img[row, col] = max(img[row, col], 0.8)
+    return img

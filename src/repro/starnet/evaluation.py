@@ -1,0 +1,96 @@
+"""STARNet AUC evaluation across the corruption suite (Sec. V).
+
+The paper reports per-corruption AUC values for LiDAR-only monitoring:
+crosstalk 0.9658, cross-sensor interference 0.9938, and "above 0.90"
+generally — without training on any of the fault types.  This harness
+reproduces that protocol on the synthetic corruption suite:
+
+1. generate clean scans, split into fit / test;
+2. fit STARNet on clean features only;
+3. score clean test features and corrupted versions of the same scans;
+4. AUC per corruption family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..generative.rmae import RMAE, pretrain_rmae
+from ..metrics.auc import roc_auc
+from ..sim.corruptions import CORRUPTIONS, apply_corruption
+from ..sim.lidar import LidarConfig, LidarScan, LidarScanner
+from ..sim.scenes import sample_scene
+from ..voxel.grid import VoxelGridConfig
+from .features import LidarFeatureExtractor
+from .monitor import STARNet
+
+__all__ = ["AUCExperimentConfig", "generate_scans", "run_auc_experiment"]
+
+
+@dataclass(frozen=True)
+class AUCExperimentConfig:
+    """Scale and severity knobs for the AUC experiment."""
+
+    n_fit_scans: int = 24
+    n_test_scans: int = 12
+    severity: float = 0.6
+    corruptions: Tuple[str, ...] = tuple(CORRUPTIONS.keys())
+    score_method: str = "spsa"
+    spsa_steps: int = 25
+    vae_epochs: int = 40
+    grid: VoxelGridConfig = field(default_factory=lambda: VoxelGridConfig(
+        nx=16, ny=16, nz=2))
+    lidar: LidarConfig = field(default_factory=lambda: LidarConfig(
+        n_azimuth=48, n_elevation=8))
+    seed: int = 0
+
+
+def generate_scans(n: int, lidar: LidarConfig, seed: int) -> List[LidarScan]:
+    """Reproducible clean scans over random scenes."""
+    rng = np.random.default_rng(seed)
+    scanner = LidarScanner(lidar, rng=rng)
+    return [scanner.scan(sample_scene(rng)) for _ in range(n)]
+
+
+def run_auc_experiment(config: Optional[AUCExperimentConfig] = None
+                       ) -> Dict[str, float]:
+    """Full protocol; returns {corruption_name: AUC}."""
+    config = config or AUCExperimentConfig()
+    fit_scans = generate_scans(config.n_fit_scans, config.lidar, config.seed)
+    test_scans = generate_scans(config.n_test_scans, config.lidar,
+                                config.seed + 1)
+
+    # The primary task network is trained before the monitor taps its
+    # features (STARNet monitors a *working* pipeline, not random init).
+    from ..voxel.grid import voxelize
+    rmae = RMAE(config.grid, rng=np.random.default_rng(config.seed + 2))
+    fit_clouds = [voxelize(s.points, s.labels, config.grid)
+                  for s in fit_scans]
+    pretrain_rmae(rmae, fit_clouds, epochs=4,
+                  rng=np.random.default_rng(config.seed + 5))
+    extractor = LidarFeatureExtractor(rmae, config.grid)
+
+    monitor = STARNet(extractor.feature_dim,
+                      score_method=config.score_method,
+                      spsa_steps=config.spsa_steps,
+                      rng=np.random.default_rng(config.seed + 3))
+    monitor.fit(extractor.extract_batch(fit_scans), epochs=config.vae_epochs)
+
+    clean_scores = [monitor.score(extractor.extract(s)) for s in test_scans]
+
+    results: Dict[str, float] = {}
+    rng = np.random.default_rng(config.seed + 4)
+    for name in config.corruptions:
+        corrupted = [
+            apply_corruption(s, name, severity=config.severity,
+                             rng=np.random.default_rng(rng.integers(2 ** 31)))
+            for s in test_scans
+        ]
+        bad_scores = [monitor.score(extractor.extract(s)) for s in corrupted]
+        scores = np.array(clean_scores + bad_scores)
+        labels = np.array([0] * len(clean_scores) + [1] * len(bad_scores))
+        results[name] = roc_auc(scores, labels)
+    return results

@@ -1,0 +1,147 @@
+"""Fusion filtering and the Fig. 7 accuracy-recovery experiment (Sec. V).
+
+"When fusing LiDAR with camera inputs, STARNet further improved anomaly
+detection under heavy snow while maintaining high task accuracy for
+detecting cars and pedestrians by filtering unreliable sensor data ...
+STARNet increased object detection accuracy by ~15%, restoring
+performance to clean data."
+
+Protocol here: a detector trained on clean scans is evaluated under
+increasing snow severity three ways — unprotected, with STARNet-gated
+physical filtering of the LiDAR stream, and on clean data (the ceiling).
+The filter itself is corruption-agnostic: it removes isolated near-range
+returns (backscatter signature) only when the monitor flags the stream,
+so nominal scans pass through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..detect.ap import evaluate_class
+from ..detect.heads import BEVDetector
+from ..sim.corruptions import snow
+from ..sim.lidar import LidarScan
+from ..sim.scenes import Scene
+from ..voxel.grid import voxelize
+from .features import LidarFeatureExtractor
+from .monitor import STARNet
+
+__all__ = ["filter_backscatter", "GatedFilter", "run_recovery_experiment"]
+
+
+def filter_backscatter(scan: LidarScan, near_range_m: float = 10.0,
+                       intensity_threshold: float = 0.55,
+                       ground_margin_m: float = 0.15,
+                       neighbor_radius_m: float = 1.2,
+                       min_neighbors: int = 2) -> LidarScan:
+    """Remove near-range returns with the backscatter signature.
+
+    Atmospheric backscatter (snow/rain) produces echoes that are (a)
+    close to the sensor, (b) anomalously bright — the echo suffers almost
+    no spreading loss — and (c) floating in mid-air rather than lying on
+    the ground plane or clustered on a surface.  A near-range point is
+    removed when it is bright and off-ground, *unless* it sits in a dense
+    local cluster (a real close surface).  Distant returns always pass.
+    """
+    n = scan.num_points
+    if n == 0:
+        return scan
+    pts = scan.points
+    near = scan.ranges < near_range_m
+    bright = pts[:, 3] > intensity_threshold
+    off_ground = pts[:, 2] > ground_margin_m
+    suspect = near & bright & off_ground
+    keep = ~suspect
+    if suspect.any():
+        # Rescue suspects embedded in a dense cluster of *trusted* points
+        # (real surfaces keep their neighbourhood; flakes are surrounded
+        # only by other suspects).
+        trusted = np.flatnonzero(~suspect)
+        suspect_idx = np.flatnonzero(suspect)
+        if trusted.size:
+            d2 = ((pts[suspect_idx, None, :3]
+                   - pts[None, trusted, :3]) ** 2).sum(axis=2)
+            r2 = neighbor_radius_m ** 2
+            support = (d2 <= r2).sum(axis=1)
+            keep[suspect_idx] = support >= min_neighbors
+    return scan.subset(keep)
+
+
+@dataclass
+class GatedFilter:
+    """Monitor-gated mitigation: filter only when the stream is flagged.
+
+    This is the sensing-to-action reliability pattern of Fig. 6 — the
+    monitor's verdict drives a concrete sensing-side intervention.
+    """
+
+    monitor: STARNet
+    extractor: LidarFeatureExtractor
+    trust_threshold: float = 0.5
+    interventions: int = 0
+    passthroughs: int = 0
+
+    def apply(self, scan: LidarScan) -> LidarScan:
+        features = self.extractor.extract(scan)
+        z = self.monitor.zscore(features)
+        trust = 1.0 / (1.0 + np.exp(np.clip(z - 3.0, -60, 60)))
+        if trust < self.trust_threshold:
+            self.interventions += 1
+            return filter_backscatter(scan)
+        self.passthroughs += 1
+        return scan
+
+
+def _detect_ap(detector: BEVDetector, scans: List[LidarScan],
+               scenes: List[Scene], classes: Tuple[str, ...]
+               ) -> Dict[str, float]:
+    grid = detector.grid
+    per_scene_preds = []
+    per_scene_gts: Dict[str, List[np.ndarray]] = {c: [] for c in classes}
+    for scan, scene in zip(scans, scenes):
+        cloud = voxelize(scan.points, scan.labels, grid)
+        per_scene_preds.append(detector.detect(cloud, score_threshold=0.15))
+        for cls in classes:
+            centers = np.array([
+                o.center[:2] for o in scene.foreground()
+                if o.cls == cls
+                and grid.x_range[0] <= o.center[0] <= grid.x_range[1]
+                and grid.y_range[0] <= o.center[1] <= grid.y_range[1]
+            ]).reshape(-1, 2)
+            per_scene_gts[cls].append(centers)
+    return {cls: evaluate_class(per_scene_preds, per_scene_gts[cls], cls)
+            for cls in classes}
+
+
+def run_recovery_experiment(detector: BEVDetector, monitor: STARNet,
+                            extractor: LidarFeatureExtractor,
+                            eval_scans: List[LidarScan],
+                            eval_scenes: List[Scene],
+                            severities: Tuple[float, ...] = (0.0, 0.3, 0.6, 0.9),
+                            classes: Tuple[str, ...] = ("Car", "Pedestrian"),
+                            seed: int = 0
+                            ) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Fig. 7 sweep: severity -> {unprotected|starnet: {class: AP}}."""
+    rng = np.random.default_rng(seed)
+    results: Dict[float, Dict[str, Dict[str, float]]] = {}
+    for sev in severities:
+        if sev > 0:
+            corrupted = [
+                snow(s, severity=sev,
+                     rng=np.random.default_rng(rng.integers(2 ** 31)))
+                for s in eval_scans
+            ]
+        else:
+            corrupted = list(eval_scans)
+        gated = GatedFilter(monitor, extractor)
+        protected = [gated.apply(s) for s in corrupted]
+        results[sev] = {
+            "unprotected": _detect_ap(detector, corrupted, eval_scenes,
+                                      classes),
+            "starnet": _detect_ap(detector, protected, eval_scenes, classes),
+        }
+    return results

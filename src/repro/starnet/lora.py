@@ -1,0 +1,109 @@
+"""LoRA on-device adaptation of the STARNet VAE (Sec. V).
+
+"Low-Rank Adaptation (LoRA) enables efficient on-device fine-tuning by
+constraining updates to a low-dimensional subspace while preserving core
+model weights."
+
+When the nominal feature distribution drifts (new weather regime, sensor
+aging), retraining the whole VAE on-device is too expensive; LoRA updates
+only rank-``r`` factors on each Dense weight.  Gradients for the factors
+are derived from the base-weight gradients by the chain rule
+(dL/dA = s * dL/dW @ B^T, dL/dB = s * A^T @ dL/dW), so the existing VAE
+backward pass is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.layers import Dense
+from ..nn.optim import Adam
+from ..nn.tensor import Parameter
+from ..nn.vae import VAE
+
+__all__ = ["LoRAFineTuner"]
+
+
+class _WeightAdapter:
+    """Rank-r additive update on one frozen Dense weight."""
+
+    def __init__(self, weight: Parameter, rank: int, alpha: float,
+                 rng: np.random.Generator):
+        in_dim, out_dim = weight.data.shape
+        self.weight = weight
+        self.w0 = weight.data.copy()
+        self.scale = alpha / rank
+        self.a = Parameter(rng.normal(0, 1.0 / rank, size=(in_dim, rank)),
+                           name=f"{weight.name}.lora_a")
+        self.b = Parameter(np.zeros((rank, out_dim)),
+                           name=f"{weight.name}.lora_b")
+
+    def materialize(self) -> None:
+        """Write W0 + s*A@B into the live weight."""
+        self.weight.data = self.w0 + self.scale * (self.a.data @ self.b.data)
+
+    def pull_gradients(self) -> None:
+        """Convert the accumulated base-weight grad into factor grads."""
+        dw = self.weight.grad
+        self.a.grad += self.scale * dw @ self.b.data.T
+        self.b.grad += self.scale * self.a.data.T @ dw
+
+    @property
+    def n_factor_params(self) -> int:
+        return self.a.size + self.b.size
+
+
+class LoRAFineTuner:
+    """Adapt a trained VAE to drifted data through rank-r factors only."""
+
+    def __init__(self, vae: VAE, rank: int = 4, alpha: float = 8.0,
+                 rng: Optional[np.random.Generator] = None):
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.vae = vae
+        self.adapters: List[_WeightAdapter] = []
+        for module in vae.modules():
+            if isinstance(module, Dense):
+                self.adapters.append(
+                    _WeightAdapter(module.weight, rank, alpha, rng))
+        if not self.adapters:
+            raise ValueError("VAE exposes no Dense weights to adapt")
+        factor_params = [p for ad in self.adapters for p in (ad.a, ad.b)]
+        self.opt = Adam(factor_params, lr=1e-3)
+
+    @property
+    def trainable_fraction(self) -> float:
+        """Adapted parameters / full fine-tune parameters."""
+        full = sum(ad.weight.size for ad in self.adapters)
+        factors = sum(ad.n_factor_params for ad in self.adapters)
+        return factors / full
+
+    def adapt(self, drifted_features: np.ndarray, steps: int = 60,
+              batch_size: int = 16,
+              rng: Optional[np.random.Generator] = None) -> List[float]:
+        """Fine-tune the factors on drifted nominal data.
+
+        The VAE's standard loss/backward runs untouched; only factor
+        parameters receive optimizer updates (base weights are rebuilt
+        from frozen W0 each step).  Returns per-step losses.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        x = np.asarray(drifted_features, dtype=np.float64)
+        losses: List[float] = []
+        for _ in range(steps):
+            idx = rng.integers(0, x.shape[0], size=min(batch_size, x.shape[0]))
+            for ad in self.adapters:
+                ad.materialize()
+            self.vae.zero_grad()
+            self.opt.zero_grad()
+            loss = self.vae.loss_and_grads(x[idx])
+            for ad in self.adapters:
+                ad.pull_gradients()
+            self.opt.step()
+            losses.append(loss)
+        for ad in self.adapters:
+            ad.materialize()
+        return losses

@@ -1,0 +1,108 @@
+"""The STARNet trust monitor (Sec. V, Fig. 6).
+
+Two-stage mechanism:
+
+1. **Offline** — a VAE learns the distribution of nominal task features.
+2. **Online** — each incoming feature vector is scored with
+   (SPSA-approximated) likelihood regret; scores are normalized against
+   the calibration distribution and mapped to a trust value in [0, 1].
+
+Implements the :class:`repro.core.Monitor` protocol so it can gate any
+sensing-to-action loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.components import Monitor, Percept
+from ..nn.vae import VAE, train_vae
+from .likelihood_regret import (likelihood_regret_exact,
+                                likelihood_regret_spsa,
+                                reconstruction_error_score)
+
+__all__ = ["STARNet", "ScoreMethod"]
+
+ScoreMethod = str  # "spsa" | "exact" | "recon"
+
+
+class STARNet(Monitor):
+    """VAE + likelihood-regret sensor-trust monitor."""
+
+    def __init__(self, feature_dim: int, latent_dim: int = 6,
+                 score_method: ScoreMethod = "spsa", spsa_steps: int = 25,
+                 rng: Optional[np.random.Generator] = None):
+        if score_method not in ("spsa", "exact", "recon"):
+            raise ValueError(f"unknown score method {score_method!r}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
+        self.feature_dim = feature_dim
+        self.score_method = score_method
+        self.spsa_steps = spsa_steps
+        self.vae = VAE(feature_dim, latent_dim=latent_dim,
+                       hidden=(48, 24), rng=rng)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._cal_mean = 0.0
+        self._cal_std = 1.0
+        self._fitted = False
+
+    # ------------------------------------------------------------- training
+    def fit(self, nominal_features: np.ndarray, epochs: int = 40,
+            calibration_fraction: float = 0.25) -> List[float]:
+        """Train the VAE on nominal features and calibrate the score.
+
+        A held-out calibration slice provides the nominal score
+        distribution used to normalize online scores into trust values.
+        """
+        x = np.asarray(nominal_features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.feature_dim:
+            raise ValueError("features must be (N, feature_dim)")
+        if x.shape[0] < 8:
+            raise ValueError("need at least 8 nominal samples")
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-6
+        xn = (x - self._mean) / self._std
+        n_cal = max(4, int(len(xn) * calibration_fraction))
+        train, cal = xn[:-n_cal], xn[-n_cal:]
+        losses = train_vae(self.vae, train, epochs=epochs,
+                           rng=np.random.default_rng(self.rng.integers(2 ** 31)))
+        self._fitted = True
+        cal_scores = np.array([self._raw_score(row) for row in cal])
+        self._cal_mean = float(cal_scores.mean())
+        self._cal_std = float(cal_scores.std() + 1e-6)
+        return losses
+
+    # -------------------------------------------------------------- scoring
+    def _normalize(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("fit() the monitor before scoring")
+        return (np.asarray(features, dtype=np.float64) - self._mean) / self._std
+
+    def _raw_score(self, xn: np.ndarray) -> float:
+        if self.score_method == "spsa":
+            return likelihood_regret_spsa(self.vae, xn, steps=self.spsa_steps,
+                                          rng=self.rng)
+        if self.score_method == "exact":
+            return likelihood_regret_exact(self.vae, xn, rng=self.rng)
+        return reconstruction_error_score(self.vae, xn, rng=self.rng)
+
+    def score(self, features: np.ndarray) -> float:
+        """Anomaly score of one feature vector (higher = more anomalous)."""
+        return self._raw_score(self._normalize(features))
+
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        return np.array([self.score(row) for row in np.atleast_2d(features)])
+
+    def zscore(self, features: np.ndarray) -> float:
+        """Score standardized against the nominal calibration scores."""
+        return (self.score(features) - self._cal_mean) / self._cal_std
+
+    # ------------------------------------------------------- Monitor proto
+    def assess(self, percept: Percept) -> float:
+        """Trust in [0, 1]: sigmoid of the negated calibrated z-score."""
+        z = self.zscore(percept.features)
+        return float(1.0 / (1.0 + np.exp(np.clip(z - 3.0, -60, 60))))

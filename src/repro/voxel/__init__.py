@@ -1,0 +1,14 @@
+"""``repro.voxel`` — voxelization and R-MAE radial masking."""
+
+from .grid import VoxelGridConfig, VoxelizedCloud, voxelize
+from .masking import (RadialMaskConfig, angular_only_mask,
+                      beam_mask_from_segments, radial_mask,
+                      segment_of_azimuth, uniform_mask)
+from .adaptive_masking import AdaptiveMaskPlanner
+
+__all__ = [
+    "VoxelGridConfig", "VoxelizedCloud", "voxelize",
+    "RadialMaskConfig", "radial_mask", "uniform_mask", "angular_only_mask",
+    "beam_mask_from_segments", "segment_of_azimuth",
+    "AdaptiveMaskPlanner",
+]

@@ -1,0 +1,100 @@
+"""Adaptive masking (Sec. III future work).
+
+"Future work could explore adaptive masking" — instead of sampling
+angular segments uniformly at random, spend the sensing budget where the
+generative model has been *wrong*: segments whose past reconstruction
+error is high get sensed more often, well-predicted segments are trusted
+to the generator.
+
+:class:`AdaptiveMaskPlanner` keeps a per-segment reconstruction-error
+EWMA and allocates the fixed segment budget proportionally (softmax with
+an exploration floor) — a bandit-flavoured closing of the
+sensing-to-action loop at the masking level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .grid import Coord, VoxelizedCloud
+from .masking import RadialMaskConfig, segment_of_azimuth
+
+__all__ = ["AdaptiveMaskPlanner"]
+
+
+class AdaptiveMaskPlanner:
+    """Error-driven angular segment selection for radial masking."""
+
+    def __init__(self, config: Optional[RadialMaskConfig] = None,
+                 smoothing: float = 0.3, exploration: float = 0.25,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0 <= exploration <= 1:
+            raise ValueError("exploration must be in [0, 1]")
+        self.config = config or RadialMaskConfig()
+        self.smoothing = smoothing
+        self.exploration = exploration
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.segment_error = np.ones(self.config.n_segments)
+
+    def plan_segments(self) -> np.ndarray:
+        """Sample the segment mask: high-error segments sensed more.
+
+        A fraction ``exploration`` of the budget stays uniform so
+        well-predicted segments are still revisited (their error estimate
+        would otherwise never update).
+        """
+        n = self.config.n_segments
+        n_keep = max(1, int(round(n * self.config.segment_keep_fraction)))
+        errors = np.clip(self.segment_error, 1e-6, None)
+        greedy = errors / errors.sum()
+        probs = ((1 - self.exploration) * greedy
+                 + self.exploration / n)
+        chosen = self.rng.choice(n, size=n_keep, replace=False,
+                                 p=probs / probs.sum())
+        mask = np.zeros(n, dtype=bool)
+        mask[chosen] = True
+        return mask
+
+    def plan_mask(self, cloud: VoxelizedCloud
+                  ) -> Tuple[Dict[Coord, bool], np.ndarray]:
+        """Full two-stage mask using the adaptive segment plan."""
+        segments = self.plan_segments()
+        keep: Dict[Coord, bool] = {}
+        for coord in cloud.coords:
+            seg = segment_of_azimuth(cloud.config.voxel_azimuth(coord),
+                                     self.config.n_segments)
+            if not segments[seg]:
+                keep[coord] = False
+                continue
+            r = cloud.config.voxel_range(coord)
+            keep[coord] = bool(
+                self.rng.random() < self.config.range_keep_probability(r))
+        return keep, segments
+
+    def report_errors(self, cloud: VoxelizedCloud,
+                      reconstructed: np.ndarray) -> None:
+        """Feed back per-segment reconstruction error from ground truth.
+
+        ``reconstructed`` is the binary occupancy prediction; error per
+        segment = fraction of that segment's truly-occupied voxels the
+        reconstruction missed.
+        """
+        n = self.config.n_segments
+        missed = np.zeros(n)
+        total = np.zeros(n)
+        for coord in cloud.coords:
+            seg = segment_of_azimuth(cloud.config.voxel_azimuth(coord), n)
+            total[seg] += 1
+            if not reconstructed[coord]:
+                missed[seg] += 1
+        for seg in range(n):
+            if total[seg] == 0:
+                continue
+            err = missed[seg] / total[seg]
+            self.segment_error[seg] = (
+                (1 - self.smoothing) * self.segment_error[seg]
+                + self.smoothing * err)

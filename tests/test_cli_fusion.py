@@ -1,0 +1,149 @@
+"""Tests for the CLI and the adaptive-fusion / context-threshold extensions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import DEMOS, EXPERIMENTS, main
+from repro.starnet import ContextAwareThreshold, ReliabilityWeightedFusion
+
+
+# -------------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+    assert "table2" in out
+
+
+def test_cli_experiment_fig5a(capsys):
+    assert main(["experiment", "fig5a"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spectral_koopman"]["total"] < payload["mlp"]["total"]
+
+
+def test_cli_experiment_swarm(capsys):
+    assert main(["experiment", "swarm"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["uncoordinated"]["energy_mj"] > \
+        payload["coordinated"]["energy_mj"]
+
+
+def test_cli_experiment_speculative(capsys):
+    assert main(["experiment", "speculative"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["k=4"]["speedup"] > 1.0
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["experiment", "figure99"])
+
+
+def test_cli_no_command_shows_help(capsys):
+    assert main([]) == 1
+
+
+def test_cli_registries_complete():
+    assert set(EXPERIMENTS) == {"table2", "fig5a", "fig5b", "auc", "fig11",
+                                "swarm", "speculative", "codesign"}
+    assert len(DEMOS) == 7
+
+
+# -------------------------------------------------------- adaptive fusion
+def _fusion():
+    return ReliabilityWeightedFusion({"lidar": 3, "camera": 2})
+
+
+def test_fusion_equal_trust_preserves_features():
+    fusion = _fusion()
+    feats = {"lidar": np.array([1.0, 2.0, 3.0]),
+             "camera": np.array([4.0, 5.0])}
+    fused, weights = fusion.fuse(feats, {"lidar": 0.8, "camera": 0.8})
+    np.testing.assert_allclose(fused, [1, 2, 3, 4, 5])
+    assert weights["lidar"] == pytest.approx(0.5)
+
+
+def test_fusion_downweights_untrusted_stream():
+    fusion = _fusion()
+    feats = {"lidar": np.ones(3), "camera": np.ones(2)}
+    fused, weights = fusion.fuse(feats, {"lidar": 0.01, "camera": 1.0})
+    # LiDAR under the floor: excluded; camera carries everything.
+    assert weights["lidar"] == 0.0
+    np.testing.assert_allclose(fused[:3], 0.0)
+    np.testing.assert_allclose(fused[3:], 2.0)  # 1.0 * (1.0 * 2 modalities)
+
+
+def test_fusion_all_distrusted_fails_operational():
+    fusion = _fusion()
+    weights = fusion.weights({"lidar": 0.0, "camera": 0.0})
+    assert weights["lidar"] == pytest.approx(0.5)
+    assert weights["camera"] == pytest.approx(0.5)
+
+
+def test_fusion_validation():
+    with pytest.raises(ValueError):
+        ReliabilityWeightedFusion({})
+    with pytest.raises(ValueError):
+        ReliabilityWeightedFusion({"x": 0})
+    fusion = _fusion()
+    with pytest.raises(KeyError):
+        fusion.fuse({"lidar": np.ones(3)}, {"lidar": 1.0, "camera": 1.0})
+    with pytest.raises(KeyError):
+        fusion.weights({"lidar": 1.0})
+    with pytest.raises(ValueError):
+        fusion.fuse({"lidar": np.ones(4), "camera": np.ones(2)},
+                    {"lidar": 1.0, "camera": 1.0})
+
+
+def test_fusion_dim_property():
+    assert _fusion().fused_dim == 5
+
+
+# ------------------------------------------------- context-aware threshold
+def _context_data(seed=0, n=300):
+    """Nominal scores whose scale depends on a context variable."""
+    rng = np.random.default_rng(seed)
+    contexts = rng.uniform(0, 1, size=n)
+    scores = (1.0 + 4.0 * contexts) * rng.gamma(2.0, 0.5, size=n)
+    return contexts, scores
+
+
+def test_context_threshold_controls_fpr():
+    contexts, scores = _context_data()
+    model = ContextAwareThreshold(n_buckets=3, quantile=0.95).fit(
+        contexts, scores)
+    c2, s2 = _context_data(seed=1)
+    fpr = model.false_positive_rate(c2, s2)
+    assert abs(fpr - 0.05) < 0.05
+
+
+def test_context_threshold_beats_global_on_skewed_contexts():
+    """Per-context thresholds detect low-context anomalies a global
+    95th-percentile threshold hides."""
+    contexts, scores = _context_data(seed=2)
+    model = ContextAwareThreshold(n_buckets=3).fit(contexts, scores)
+    global_thr = float(np.quantile(scores, 0.95))
+    # An anomaly in a quiet context: moderate absolute score.
+    quiet_context, anomaly_score = 0.05, global_thr * 0.6
+    assert anomaly_score < global_thr            # global misses it
+    assert model.is_anomalous(quiet_context, anomaly_score)
+
+
+def test_context_threshold_monotone_buckets():
+    contexts, scores = _context_data(seed=3)
+    model = ContextAwareThreshold(n_buckets=3).fit(contexts, scores)
+    assert model.threshold(0.05) < model.threshold(0.95)
+
+
+def test_context_threshold_validation():
+    with pytest.raises(ValueError):
+        ContextAwareThreshold(n_buckets=0)
+    with pytest.raises(ValueError):
+        ContextAwareThreshold(quantile=0.4)
+    model = ContextAwareThreshold()
+    with pytest.raises(RuntimeError):
+        model.threshold(0.5)
+    with pytest.raises(ValueError):
+        model.fit([1.0], [1.0])

@@ -1,0 +1,127 @@
+"""Tests for the end-to-end co-design module (the paper's thesis)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DesignSpace, LoopDesign, LoopPlant,
+                        end_to_end_codesign, modular_codesign, pareto_front)
+
+
+PLANT = LoopPlant()
+
+
+def test_loop_design_validation():
+    with pytest.raises(ValueError):
+        LoopDesign(coverage=0.0, model="small", precision_bits=8,
+                   rate_hz=10.0)
+    with pytest.raises(ValueError):
+        LoopDesign(coverage=0.5, model="huge", precision_bits=8,
+                   rate_hz=10.0)
+    with pytest.raises(ValueError):
+        LoopDesign(coverage=0.5, model="small", precision_bits=8,
+                   rate_hz=0.0)
+
+
+def test_observability_saturates():
+    assert PLANT.observability(1.0) < 1.0
+    assert PLANT.observability(0.5) > 0.5 * PLANT.observability(1.0)
+    # Diminishing returns: doubling coverage less than doubles quality.
+    assert PLANT.observability(0.2) < 2 * PLANT.observability(0.1)
+
+
+def test_utility_zero_when_deadline_infeasible():
+    # Large model at 4x real-time rate on a slow platform.
+    slow = LoopPlant(compute_gmacs_s=0.5)
+    design = LoopDesign(coverage=0.5, model="large", precision_bits=32,
+                        rate_hz=50.0)
+    assert not slow.deadline_feasible(design)
+    assert slow.utility(design) == 0.0
+
+
+def test_utility_decreases_with_environment_speed():
+    fast_world = LoopPlant(environment_speed=10.0)
+    slow_world = LoopPlant(environment_speed=0.5)
+    design = LoopDesign(coverage=0.5, model="medium", precision_bits=16,
+                        rate_hz=10.0)
+    assert fast_world.utility(design) < slow_world.utility(design)
+
+
+def test_power_monotone_in_coverage_and_rate():
+    base = LoopDesign(coverage=0.2, model="medium", precision_bits=16,
+                      rate_hz=10.0)
+    more_cov = LoopDesign(coverage=0.4, model="medium", precision_bits=16,
+                          rate_hz=10.0)
+    more_rate = LoopDesign(coverage=0.2, model="medium", precision_bits=16,
+                           rate_hz=20.0)
+    assert PLANT.power_mw(more_cov) > PLANT.power_mw(base)
+    assert PLANT.power_mw(more_rate) > PLANT.power_mw(base)
+
+
+def test_lower_precision_cheaper():
+    hi = LoopDesign(coverage=0.2, model="large", precision_bits=32,
+                    rate_hz=20.0)
+    lo = LoopDesign(coverage=0.2, model="large", precision_bits=8,
+                    rate_hz=20.0)
+    assert PLANT.power_mw(lo) < PLANT.power_mw(hi)
+
+
+def test_e2e_respects_budget():
+    design, utility = end_to_end_codesign(PLANT, power_budget_mw=3000)
+    assert design is not None
+    assert PLANT.power_mw(design) <= 3000
+    assert utility > 0
+
+
+def test_e2e_infeasible_budget_returns_none():
+    design, utility = end_to_end_codesign(PLANT, power_budget_mw=10.0)
+    assert design is None
+    assert utility == 0.0
+
+
+def test_e2e_at_least_matches_modular():
+    """Joint search dominates per-knob search at every budget."""
+    for budget in (2000, 4000, 8000, 15000, 30000):
+        _, u_e2e = end_to_end_codesign(PLANT, budget)
+        _, u_mod = modular_codesign(PLANT, budget)
+        assert u_e2e >= u_mod - 1e-12, budget
+
+
+def test_e2e_strictly_beats_modular_when_constrained():
+    """At tight budgets cross-layer trades buy real utility."""
+    gains = []
+    for budget in (2000, 4000, 8000):
+        _, u_e2e = end_to_end_codesign(PLANT, budget)
+        _, u_mod = modular_codesign(PLANT, budget)
+        if u_mod > 0:
+            gains.append(u_e2e / u_mod - 1.0)
+    assert max(gains) > 0.08  # >8% utility somewhere in the sweep
+
+
+def test_codesign_exploits_precision_coverage_trade():
+    """At a tight budget the joint optimum spends fewer compute bits to
+    afford more sensing — the interdependency modular search misses."""
+    design, _ = end_to_end_codesign(PLANT, power_budget_mw=2000)
+    assert design.precision_bits < 32
+
+
+def test_pareto_front_monotone():
+    front = pareto_front(PLANT)
+    powers = [p for _, p, _ in front]
+    utilities = [u for _, _, u in front]
+    assert powers == sorted(powers)
+    assert utilities == sorted(utilities)
+    assert len(front) >= 3
+
+
+def test_modular_composition_can_be_infeasible():
+    """Each knob can be individually affordable while the composition
+    blows the budget — the classic modular-optimization failure."""
+    # Defaults near the budget edge: every per-knob upgrade fits alone.
+    defaults = LoopDesign(coverage=0.4, model="medium", precision_bits=32,
+                          rate_hz=10.0)
+    budget = PLANT.power_mw(defaults) * 1.4
+    combined, utility = modular_codesign(PLANT, budget, defaults=defaults)
+    if PLANT.power_mw(combined) > budget:
+        assert utility == 0.0
+    else:  # if it composes, it must at least respect the budget
+        assert PLANT.power_mw(combined) <= budget

@@ -1,0 +1,176 @@
+"""Tests for detection heads, AP metric, and the Table I pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (BEVDetector, Detection, DetectorConfig,
+                          DetectionExperimentConfig, build_target_maps,
+                          compute_ap, evaluate_class, finetune_detector,
+                          make_detection_data, run_detection_experiment)
+from repro.sim import Scene, SceneObject
+from repro.voxel import VoxelGridConfig, voxelize
+
+
+GRID = VoxelGridConfig(nx=16, ny=16, nz=2, x_range=(0.0, 60.0),
+                       y_range=(-30.0, 30.0))
+
+
+# ---------------------------------------------------------------------- AP
+def test_compute_ap_perfect():
+    matches = [(0.9, True), (0.8, True)]
+    assert compute_ap(matches, n_ground_truth=2) == pytest.approx(1.0)
+
+
+def test_compute_ap_no_predictions():
+    assert compute_ap([], n_ground_truth=3) == 0.0
+
+
+def test_compute_ap_no_ground_truth():
+    assert compute_ap([(0.9, False)], n_ground_truth=0) == 0.0
+
+
+def test_compute_ap_false_positives_lower_ap():
+    clean = compute_ap([(0.9, True), (0.8, True)], 2)
+    noisy = compute_ap([(0.95, False), (0.9, True), (0.8, True)], 2)
+    assert noisy < clean
+
+
+def test_compute_ap_partial_recall():
+    # One of two GT found -> AP = 0.5 with perfect precision.
+    assert compute_ap([(0.9, True)], 2) == pytest.approx(0.5)
+
+
+def test_evaluate_class_distance_matching():
+    preds = [[Detection("Car", 10.0, 0.0, 0.9)]]
+    gts_close = [np.array([[11.0, 0.5]])]
+    gts_far = [np.array([[30.0, 20.0]])]
+    assert evaluate_class(preds, gts_close, "Car") == pytest.approx(100.0)
+    assert evaluate_class(preds, gts_far, "Car") == 0.0
+
+
+def test_evaluate_class_each_gt_claimed_once():
+    preds = [[Detection("Car", 10.0, 0.0, 0.9),
+              Detection("Car", 10.1, 0.0, 0.8)]]
+    gts = [np.array([[10.0, 0.0]])]
+    # Second prediction is a duplicate -> precision drops below 1.
+    ap = evaluate_class(preds, gts, "Car")
+    assert ap == pytest.approx(100.0)  # AP unaffected: recall hit first
+
+
+def test_evaluate_class_scene_count_mismatch():
+    with pytest.raises(ValueError):
+        evaluate_class([[]], [np.zeros((0, 2)), np.zeros((0, 2))], "Car")
+
+
+# ------------------------------------------------------------------- heads
+def _toy_scene():
+    return Scene(objects=[
+        SceneObject("Car", np.array([15.0, 0.0, 0.8]),
+                    np.array([4.0, 2.0, 1.6])),
+        SceneObject("Pedestrian", np.array([10.0, 5.0, 0.9]),
+                    np.array([0.8, 0.7, 1.8])),
+    ])
+
+
+def test_build_target_maps_marks_centers():
+    scene = _toy_scene()
+    targets = build_target_maps(scene, GRID, downsample=2)
+    assert targets.shape == (3, 8, 8)
+    assert targets[0].sum() == 1.0   # one car
+    assert targets[1].sum() == 1.0   # one pedestrian
+    assert targets[2].sum() == 0.0   # no cyclist
+
+
+def test_detector_config_validation():
+    with pytest.raises(ValueError):
+        DetectorConfig(backbone="yolo")
+
+
+def test_detector_score_maps_shape():
+    det = BEVDetector(GRID, rng=np.random.default_rng(0))
+    pts = np.array([[15.0, 0.0, 0.8, 0.5], [10.0, 5.0, 0.9, 0.4]])
+    cloud = voxelize(pts, config=GRID)
+    maps = det.score_maps(cloud)
+    assert maps.shape == (3, 8, 8)
+
+
+def test_pvrcnn_lite_has_more_parameters():
+    a = BEVDetector(GRID, DetectorConfig(backbone="second_lite"),
+                    rng=np.random.default_rng(1))
+    b = BEVDetector(GRID, DetectorConfig(backbone="pvrcnn_lite"),
+                    rng=np.random.default_rng(1))
+    assert b.num_parameters() > a.num_parameters()
+
+
+def test_detector_overfits_single_scene():
+    """Sanity: the detector can memorize one labeled scene."""
+    scene = _toy_scene()
+    pts = []
+    for obj in scene.objects:
+        for _ in range(6):
+            jitter = np.random.default_rng(2).normal(0, 0.3, size=3)
+            pts.append([*(obj.center + jitter), 0.5])
+    cloud = voxelize(np.array(pts),
+                     labels=np.repeat([0, 1], 6), config=GRID)
+    targets = build_target_maps(scene, GRID)
+    det = BEVDetector(GRID, rng=np.random.default_rng(3))
+    losses = finetune_detector(det, [(cloud, targets)], epochs=40,
+                               rng=np.random.default_rng(4))
+    assert losses[-1] < losses[0] * 0.5
+    detections = det.detect(cloud, score_threshold=0.3)
+    assert any(d.cls == "Car" and abs(d.x - 15.0) < 5 for d in detections)
+
+
+def test_detect_returns_detections_with_scores():
+    det = BEVDetector(GRID, rng=np.random.default_rng(5))
+    pts = np.array([[15.0, 0.0, 0.8, 0.5]])
+    cloud = voxelize(pts, config=GRID)
+    for d in det.detect(cloud, score_threshold=0.0):
+        assert 0.0 <= d.score <= 1.0
+        assert d.cls in ("Car", "Pedestrian", "Cyclist")
+
+
+# ---------------------------------------------------------------- pipeline
+def test_make_detection_data_shapes():
+    cfg = DetectionExperimentConfig(n_pretrain_scenes=2, n_train_scenes=2,
+                                    n_eval_scenes=2)
+    pretrain, train, evals = make_detection_data(cfg)
+    assert len(pretrain) == 2
+    assert len(train) == 2 and len(evals) == 2
+    cloud, targets = train[0]
+    assert targets.shape[0] == 3
+
+
+def test_run_detection_experiment_smoke():
+    cfg = DetectionExperimentConfig(n_pretrain_scenes=3, n_train_scenes=3,
+                                    n_eval_scenes=3, pretrain_epochs=1,
+                                    finetune_epochs=2)
+    data = make_detection_data(cfg)
+    ap = run_detection_experiment("rmae", config=cfg, data=data)
+    assert set(ap.keys()) == {"Car", "Pedestrian", "Cyclist"}
+    assert all(0.0 <= v <= 100.0 for v in ap.values())
+
+
+def test_run_detection_experiment_unknown_method():
+    with pytest.raises(KeyError):
+        run_detection_experiment("simclr")
+
+
+def test_pretraining_transfers_encoder():
+    """Pretraining must actually change the encoder the detector gets."""
+    from repro.generative import RMAE, pretrain_rmae
+    from repro.sim import LidarConfig, LidarScanner, sample_scene
+
+    rng = np.random.default_rng(6)
+    scanner = LidarScanner(LidarConfig(n_azimuth=32, n_elevation=6), rng=rng)
+    clouds = [voxelize(scanner.scan(sample_scene(rng)).points, config=GRID)
+              for _ in range(2)]
+    encoder = RMAE(GRID, rng=np.random.default_rng(7))
+    before = [p.data.copy() for p in encoder.parameters()]
+    pretrain_rmae(encoder, clouds, epochs=2, rng=np.random.default_rng(8))
+    changed = any(not np.allclose(b, p.data)
+                  for b, p in zip(before, encoder.parameters()))
+    assert changed
+    det = BEVDetector(GRID, encoder=encoder, rng=np.random.default_rng(9))
+    # The detector really shares the pretrained object (not a copy).
+    assert det.rmae is encoder

@@ -1,0 +1,195 @@
+"""Failure-injection tests: degenerate inputs through full pipelines.
+
+Edge systems meet empty scans, dead sensors, and single-agent fleets;
+every subsystem must degrade gracefully rather than crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (Action, Actuator, Environment, Percept, Perception,
+                        Policy, Sensor, SensingToActionLoop, SensorReading)
+from repro.detect import BEVDetector
+from repro.federated import FLClient, FLServer, make_fleet
+from repro.generative import RMAE, pretrain_rmae
+from repro.multiagent import run_coordinated
+from repro.neuromorphic import DOTIE, build_flow_model
+from repro.sim import (GridWorldConfig, LidarConfig, LidarScanner, Scene,
+                       make_flow_dataset, make_synthetic_cifar, sample_scene,
+                       shard_iid)
+from repro.sim.events import FlowSample
+from repro.starnet import LidarFeatureExtractor, filter_backscatter
+from repro.voxel import (RadialMaskConfig, VoxelGridConfig, radial_mask,
+                         voxelize)
+
+GRID = VoxelGridConfig(nx=16, ny=16, nz=2)
+LIDAR = LidarConfig(n_azimuth=24, n_elevation=6)
+
+
+def _empty_scan():
+    cfg = LidarConfig(n_azimuth=8, n_elevation=4, elevation_min_deg=5,
+                      elevation_max_deg=10)  # all beams point skyward
+    return LidarScanner(cfg, rng=np.random.default_rng(0)).scan(
+        Scene(objects=[]))
+
+
+# --------------------------------------------------------- empty LiDAR data
+def test_empty_scan_through_voxelizer():
+    scan = _empty_scan()
+    cloud = voxelize(scan.points, scan.labels, GRID)
+    assert cloud.num_occupied == 0
+    assert cloud.occupancy_dense().sum() == 0
+
+
+def test_empty_cloud_through_rmae():
+    scan = _empty_scan()
+    cloud = voxelize(scan.points, scan.labels, GRID)
+    model = RMAE(GRID, rng=np.random.default_rng(1))
+    occ = model.reconstruct_occupancy(cloud)
+    assert occ.shape == GRID.shape  # predicts something, never crashes
+
+
+def test_empty_cloud_through_detector():
+    scan = _empty_scan()
+    cloud = voxelize(scan.points, scan.labels, GRID)
+    det = BEVDetector(GRID, rng=np.random.default_rng(2))
+    detections = det.detect(cloud, score_threshold=0.99)
+    assert isinstance(detections, list)
+
+
+def test_empty_scan_through_feature_extractor():
+    scan = _empty_scan()
+    extractor = LidarFeatureExtractor(RMAE(GRID), GRID)
+    feats = extractor.extract(scan)
+    assert feats.shape == (extractor.feature_dim,)
+    assert np.all(np.isfinite(feats))
+
+
+def test_empty_scan_through_filter():
+    filtered = filter_backscatter(_empty_scan())
+    assert filtered.num_points == 0
+
+
+def test_radial_mask_on_empty_cloud():
+    scan = _empty_scan()
+    cloud = voxelize(scan.points, scan.labels, GRID)
+    keep, segments = radial_mask(cloud, RadialMaskConfig(),
+                                 np.random.default_rng(3))
+    assert keep == {}
+    assert segments.any()
+
+
+def test_pretrain_skips_all_empty_clouds():
+    scan = _empty_scan()
+    cloud = voxelize(scan.points, scan.labels, GRID)
+    model = RMAE(GRID, rng=np.random.default_rng(4))
+    losses = pretrain_rmae(model, [cloud], epochs=2,
+                           rng=np.random.default_rng(5))
+    assert losses == [0.0, 0.0]  # nothing trainable, no crash
+
+
+# --------------------------------------------------------- dead sensor loop
+class DeadSensor(Sensor):
+    def sense(self, env, directive, t):
+        return SensorReading(data=None, timestamp=t, coverage=0.0,
+                             energy_mj=0.0)
+
+
+class NullEnv(Environment):
+    def observe_state(self):
+        return None
+
+    def advance(self, dt):
+        pass
+
+
+class NullPerception(Perception):
+    def perceive(self, reading):
+        return Percept(features=np.zeros(1), estimate=None, confidence=0.0)
+
+
+class NullPolicy(Policy):
+    def act(self, percept, t):
+        return Action(command=None)
+
+
+class NullActuator(Actuator):
+    def actuate(self, env, action, t):
+        return 0.0
+
+
+def test_loop_survives_dead_sensor():
+    loop = SensingToActionLoop(DeadSensor(), NullPerception(), NullPolicy(),
+                               NullActuator())
+    metrics = loop.run(NullEnv(), 5)
+    assert metrics.cycles == 5
+    assert metrics.energy.total_mj == 0.0
+    assert metrics.mean_coverage == 0.0
+
+
+# ------------------------------------------------------------- flow / DOTIE
+def test_flow_model_on_eventless_sample():
+    sample = make_flow_dataset(1, seed=0)[0]
+    dead = FlowSample(event_volume=np.zeros_like(sample.event_volume),
+                      frames=sample.frames,
+                      flow=sample.flow,
+                      event_frames=np.zeros_like(sample.event_frames))
+    for name in ("evflownet", "adaptive_spikenet"):
+        model = build_flow_model(name, channels=4,
+                                 rng=np.random.default_rng(6))
+        pred = model.predict(dead)
+        assert np.all(np.isfinite(pred))
+        assert model.inference_energy_pj(dead) >= 0.0
+
+
+def test_dotie_on_empty_stream():
+    assert DOTIE().detect(np.zeros((4, 2, 10, 10))) == []
+
+
+# ------------------------------------------------------------- federated
+def test_fl_single_client_fleet():
+    ds = make_synthetic_cifar(n_per_class=8, seed=7)
+    train, test = ds.split(0.25, np.random.default_rng(8))
+    client = FLClient(0, train, make_fleet(1)[0],
+                      rng=np.random.default_rng(9))
+    server = FLServer([client], test, hidden=8,
+                      rng=np.random.default_rng(10))
+    summary = server.run_round()
+    assert 0.0 <= summary.test_accuracy <= 1.0
+
+
+def test_fl_client_with_tiny_shard():
+    ds = make_synthetic_cifar(n_per_class=8, seed=11)
+    train, test = ds.split(0.25, np.random.default_rng(12))
+    shards = shard_iid(train, 8, rng=np.random.default_rng(13))
+    tiny = min(shards, key=len)
+    client = FLClient(0, tiny, make_fleet(1)[0],
+                      rng=np.random.default_rng(14))
+    server = FLServer([client], test, hidden=8,
+                      rng=np.random.default_rng(15))
+    summary = server.run_round()
+    assert np.isfinite(summary.mean_train_loss)
+
+
+# --------------------------------------------------------------- swarm
+def test_swarm_single_agent():
+    res = run_coordinated(GridWorldConfig(size=8, n_agents=1), steps=10,
+                          seed=16)
+    assert res.steps == 10
+    assert res.total_energy_mj > 0
+
+
+def test_swarm_more_agents_than_sensible():
+    res = run_coordinated(GridWorldConfig(size=6, n_agents=7), steps=5,
+                          seed=17)
+    assert res.detection_rate >= 0.0
+
+
+# -------------------------------------------------------- masked-out scan
+def test_scan_with_zero_fired_beams():
+    scanner = LidarScanner(LIDAR, rng=np.random.default_rng(18))
+    scan = scanner.scan(sample_scene(np.random.default_rng(19)),
+                        np.zeros(LIDAR.n_beams, dtype=bool))
+    assert scan.num_points == 0
+    assert scan.coverage_fraction == 0.0
+    assert scan.sensing_energy_mj() == 0.0

@@ -1,0 +1,262 @@
+"""Tests for federated learning: clients, DC-NAS, HaLo-FL, server,
+speculative decoding."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (FLClient, FLServer, MODES, NGramLM,
+                             PROFILE_TIERS, PrecisionSelector,
+                             autoregressive_decode, candidate_configs,
+                             make_client_model, make_fleet, merge_subnetwork,
+                             model_macs_per_sample, select_hidden_width,
+                             slice_weights, speculative_decode)
+from repro.nn import PrecisionConfig
+from repro.sim import make_synthetic_cifar, shard_iid
+
+
+def _setup(n_clients=4, seed=0):
+    ds = make_synthetic_cifar(n_per_class=20, seed=seed)
+    train, test = ds.split(0.25, np.random.default_rng(seed + 1))
+    shards = shard_iid(train, n_clients, rng=np.random.default_rng(seed + 2))
+    fleet = make_fleet(n_clients, rng=np.random.default_rng(seed + 3))
+    clients = [FLClient(i, s, p, rng=np.random.default_rng(100 + i))
+               for i, (s, p) in enumerate(zip(shards, fleet))]
+    return clients, test
+
+
+# ----------------------------------------------------------------- client
+def test_client_local_train_returns_report():
+    clients, test = _setup()
+    w = [p.data.copy() for p in make_client_model(
+        test.dim, 16, test.n_classes, np.random.default_rng(0)).parameters()]
+    new_w, report = clients[0].local_train(
+        w, hidden_used=16, precision=PrecisionConfig.full_precision())
+    assert len(new_w) == 4
+    assert report.energy_mj > 0
+    assert report.latency_ms > 0
+    assert report.train_loss > 0
+    assert not np.allclose(new_w[0], w[0])  # training moved the weights
+
+
+def test_client_quantized_training_cheaper():
+    clients, test = _setup()
+    w = [p.data.copy() for p in make_client_model(
+        test.dim, 16, test.n_classes, np.random.default_rng(0)).parameters()]
+    _, fp = clients[0].local_train(w, 16, PrecisionConfig.full_precision())
+    _, q8 = clients[0].local_train(w, 16, PrecisionConfig.uniform(8))
+    assert q8.energy_mj < fp.energy_mj / 5
+    assert q8.latency_ms < fp.latency_ms
+    assert q8.area_um2 < fp.area_um2
+
+
+# ----------------------------------------------------------------- dc-nas
+def test_select_hidden_width_binds_on_small_devices():
+    big = select_hidden_width(PROFILE_TIERS["server"], 64, 10, 32)
+    small = select_hidden_width(PROFILE_TIERS["mcu"], 64, 10, 32)
+    assert big == 32
+    assert small < 32
+    assert small >= 4
+
+
+def test_slice_weights_prefix():
+    rng = np.random.default_rng(1)
+    w = [rng.normal(size=(8, 16)), rng.normal(size=16),
+         rng.normal(size=(16, 3)), rng.normal(size=3)]
+    sliced = slice_weights(w, 5)
+    assert sliced[0].shape == (8, 5)
+    assert sliced[1].shape == (5,)
+    assert sliced[2].shape == (5, 3)
+    np.testing.assert_array_equal(sliced[0], w[0][:, :5])
+    with pytest.raises(ValueError):
+        slice_weights(w, 20)
+
+
+def test_merge_subnetwork_weighted_average():
+    rng = np.random.default_rng(2)
+    global_w = [np.zeros((4, 6)), np.zeros(6), np.zeros((6, 2)), np.zeros(2)]
+    c1 = [np.ones((4, 6)), np.ones(6), np.ones((6, 2)), np.ones(2)]
+    c2 = [np.full((4, 3), 3.0), np.full(3, 3.0), np.full((3, 2), 3.0),
+          np.full(2, 3.0)]
+    merged = merge_subnetwork(global_w, [c1, c2], [6, 3], [1, 1])
+    # Units 0-2 trained by both -> mean 2; units 3-5 only by c1 -> 1.
+    np.testing.assert_allclose(merged[0][:, :3], 2.0)
+    np.testing.assert_allclose(merged[0][:, 3:], 1.0)
+    np.testing.assert_allclose(merged[3], 2.0)
+
+
+def test_merge_subnetwork_untrained_units_keep_global():
+    global_w = [np.full((4, 6), 7.0), np.zeros(6), np.zeros((6, 2)),
+                np.zeros(2)]
+    c = [np.ones((4, 2)), np.ones(2), np.ones((2, 2)), np.ones(2)]
+    merged = merge_subnetwork(global_w, [c], [2], [1])
+    np.testing.assert_allclose(merged[0][:, 2:], 7.0)
+
+
+def test_merge_subnetwork_no_clients():
+    global_w = [np.ones((2, 2)), np.ones(2), np.ones((2, 2)), np.ones(2)]
+    merged = merge_subnetwork(global_w, [], [], [])
+    for g, m in zip(global_w, merged):
+        np.testing.assert_array_equal(g, m)
+
+
+# ----------------------------------------------------------------- halo
+def test_candidate_configs_respect_gradient_floor():
+    for cfg in candidate_configs():
+        assert cfg.gradient_bits >= 8
+
+
+def test_precision_selector_low_noise_tolerance_forces_high_bits():
+    rng = np.random.default_rng(3)
+    weights = [rng.normal(size=(32, 32))]
+    strict = PrecisionSelector(noise_tolerance=1e-9)
+    loose = PrecisionSelector(noise_tolerance=0.5)
+    profile = PROFILE_TIERS["workstation"]
+    cfg_strict = strict.select(weights, profile, int(1e6))
+    cfg_loose = loose.select(weights, profile, int(1e6))
+    assert cfg_strict.weight_bits >= cfg_loose.weight_bits
+
+
+def test_precision_selector_fallback_full_precision():
+    # A workload so large that no precision fits the energy budget.
+    selector = PrecisionSelector(noise_tolerance=1.0)
+    cfg = selector.select([np.ones((4, 4))], PROFILE_TIERS["mcu"],
+                          int(1e15))
+    assert cfg == PrecisionConfig.full_precision()
+
+
+def test_precision_selector_prefers_cheaper_feasible():
+    rng = np.random.default_rng(4)
+    weights = [rng.normal(size=(16, 16))]
+    selector = PrecisionSelector(noise_tolerance=1.0)
+    cfg = selector.select(weights, PROFILE_TIERS["phone"], int(1e6))
+    assert cfg.mac_bits <= 8  # something low-precision wins on cost
+
+
+# ----------------------------------------------------------------- server
+def test_server_mode_validation():
+    clients, test = _setup()
+    with pytest.raises(ValueError):
+        FLServer(clients, test, mode="split-learning")
+    with pytest.raises(ValueError):
+        FLServer([], test)
+
+
+def test_fedavg_improves_accuracy():
+    clients, test = _setup(seed=5)
+    srv = FLServer(clients, test, hidden=24, mode="fedavg",
+                   rng=np.random.default_rng(6))
+    acc0 = srv.evaluate()
+    srv.run(8)
+    assert srv.history[-1].test_accuracy > max(acc0, 0.3)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_all_modes_run(mode):
+    clients, test = _setup(seed=7)
+    srv = FLServer(clients, test, hidden=16, mode=mode,
+                   rng=np.random.default_rng(8))
+    summary = srv.run_round()
+    assert 0.0 <= summary.test_accuracy <= 1.0
+    assert summary.total_energy_mj > 0
+    assert len(summary.client_hidden) == len(clients)
+
+
+def test_dcnas_uses_smaller_widths_on_weak_clients():
+    clients, test = _setup(seed=9)
+    srv = FLServer(clients, test, hidden=32, mode="dcnas",
+                   rng=np.random.default_rng(10))
+    summary = srv.run_round()
+    assert min(summary.client_hidden) < 32  # someone pruned
+
+
+def test_halo_reduces_energy_vs_fedavg():
+    clients_a, test = _setup(seed=11)
+    clients_b, _ = _setup(seed=11)
+    base = FLServer(clients_a, test, hidden=16, mode="fedavg",
+                    rng=np.random.default_rng(12))
+    halo = FLServer(clients_b, test, hidden=16, mode="halo",
+                    rng=np.random.default_rng(12))
+    base.run(5)
+    halo.run(5)
+    assert halo.totals()["energy_mj"] < base.totals()["energy_mj"]
+    # Low precision must not wreck learning: stay within reach of the
+    # full-precision baseline.
+    assert halo.totals()["final_accuracy"] > \
+        base.totals()["final_accuracy"] - 0.25
+
+
+def test_totals_requires_rounds():
+    clients, test = _setup(seed=13)
+    srv = FLServer(clients, test)
+    with pytest.raises(RuntimeError):
+        srv.totals()
+
+
+# ------------------------------------------------------------- speculative
+def _structured_tokens(n=3000, vocab=10, seed=14):
+    rng = np.random.default_rng(seed)
+    tokens = [int(rng.integers(vocab))]
+    for _ in range(n - 1):
+        if rng.random() < 0.8:
+            tokens.append((tokens[-1] + 1) % vocab)
+        else:
+            tokens.append(int(rng.integers(vocab)))
+    return tokens
+
+
+def test_ngram_distribution_sums_to_one():
+    lm = NGramLM(8, order=2).fit(_structured_tokens(vocab=8))
+    p = lm.distribution([0, 1])
+    assert p.shape == (8,)
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_ngram_learns_structure():
+    lm = NGramLM(10, order=1).fit(_structured_tokens())
+    p = lm.distribution([3])
+    assert np.argmax(p) == 4  # successor structure
+
+
+def test_autoregressive_decode_counts_calls():
+    lm = NGramLM(10, order=2).fit(_structured_tokens())
+    stats = autoregressive_decode(lm, [0, 1], 50,
+                                  rng=np.random.default_rng(15))
+    assert len(stats.tokens) == 50
+    assert stats.target_calls == 50
+
+
+def test_speculative_decode_fewer_target_calls():
+    tokens = _structured_tokens()
+    target = NGramLM(10, order=3).fit(tokens)
+    draft = NGramLM(10, order=1).fit(tokens)
+    stats = speculative_decode(target, draft, tokens[:3], 120, k=4,
+                               rng=np.random.default_rng(16))
+    assert len(stats.tokens) == 120
+    assert stats.target_calls < 120
+    assert stats.speedup_vs_autoregressive() > 1.2
+    assert 0.0 < stats.acceptance_rate <= 1.0
+
+
+def test_speculative_decode_k_validation():
+    lm = NGramLM(4, order=1)
+    with pytest.raises(ValueError):
+        speculative_decode(lm, lm, [0], 10, k=0)
+
+
+def test_speculative_output_distribution_close_to_target():
+    """Speculative sampling must preserve the target distribution."""
+    tokens = _structured_tokens(vocab=6, seed=17)
+    target = NGramLM(6, order=1).fit(tokens)
+    draft = NGramLM(6, order=1, alpha=2.0).fit(tokens[:200])  # mismatched
+    spec_counts = np.zeros(6)
+    ar_counts = np.zeros(6)
+    for seed in range(30):
+        spec = speculative_decode(target, draft, [0], 40, k=3,
+                                  rng=np.random.default_rng(seed))
+        ar = autoregressive_decode(target, [0], 40,
+                                   rng=np.random.default_rng(seed + 500))
+        spec_counts += np.bincount(spec.tokens, minlength=6)
+        ar_counts += np.bincount(ar.tokens, minlength=6)
+    spec_p = spec_counts / spec_counts.sum()
+    ar_p = ar_counts / ar_counts.sum()
+    assert np.abs(spec_p - ar_p).max() < 0.06

@@ -1,0 +1,182 @@
+"""Tests for the analytic hardware models (energy, latency, LiDAR physics)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (EnergyLedger, HardwareProfile, LidarPowerModel,
+                            diffraction_limited_resolution, mac_area_um2,
+                            mac_energy_pj, mac_latency_ns, memory_energy_pj,
+                            model_inference_energy_mj)
+
+
+# ----------------------------------------------------------------- energy
+def test_mac_energy_monotone_in_bits():
+    energies = [mac_energy_pj(b) for b in (2, 4, 8, 16, 32)]
+    assert energies == sorted(energies)
+
+
+def test_mac_energy_unknown_precision():
+    with pytest.raises(ValueError):
+        mac_energy_pj(12)
+
+
+def test_memory_energy_dram_dominates_sram():
+    assert memory_energy_pj(100, dram=True) > 10 * memory_energy_pj(100)
+
+
+def test_model_inference_energy_scales_with_macs():
+    small = model_inference_energy_mj(int(1e6), bits=8)
+    big = model_inference_energy_mj(int(1e8), bits=8)
+    assert big == pytest.approx(100 * small, rel=0.2)
+
+
+def test_energy_ledger_additive():
+    ledger = EnergyLedger()
+    ledger.charge_sensing(1.0)
+    ledger.charge_compute(2.0)
+    ledger.charge_communication(0.5)
+    ledger.charge_actuation(0.25)
+    assert ledger.total_mj == pytest.approx(3.75)
+
+
+def test_energy_ledger_rejects_negative():
+    with pytest.raises(ValueError):
+        EnergyLedger().charge_sensing(-1.0)
+
+
+def test_energy_ledger_merge():
+    a = EnergyLedger(sensing_mj=1.0)
+    b = EnergyLedger(compute_mj=2.0)
+    merged = a.merge(b)
+    assert merged.total_mj == pytest.approx(3.0)
+    # Originals untouched.
+    assert a.total_mj == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------- latency
+def test_latency_and_area_monotone():
+    lats = [mac_latency_ns(b) for b in (2, 4, 8, 16, 32)]
+    areas = [mac_area_um2(b) for b in (2, 4, 8, 16, 32)]
+    assert lats == sorted(lats)
+    assert areas == sorted(areas)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        HardwareProfile("bad", compute_gmacs_s=0, memory_mb=1,
+                        energy_budget_mj=1)
+
+
+def test_profile_latency_speedup_at_low_precision():
+    p = HardwareProfile("dev", compute_gmacs_s=10, memory_mb=10,
+                        energy_budget_mj=100)
+    assert p.inference_latency_ms(int(1e7), 8) < p.inference_latency_ms(
+        int(1e7), 32)
+
+
+def test_profile_fits_model():
+    p = HardwareProfile("dev", compute_gmacs_s=10, memory_mb=1.0,
+                        energy_budget_mj=100)
+    assert p.fits_model(200_000, weight_bits=32)       # 0.8 MB
+    assert not p.fits_model(400_000, weight_bits=32)   # 1.6 MB
+    assert p.fits_model(400_000, weight_bits=8)        # 0.4 MB
+
+
+# ------------------------------------------------------------ lidar power
+def test_pulse_energy_r4_scaling():
+    model = LidarPowerModel(reference_pulse_uj=50.0, reference_range_m=100.0,
+                            min_pulse_uj=0.0)
+    e50 = model.pulse_energy_uj(50.0)
+    assert e50 == pytest.approx(50.0 / 16.0)
+
+
+def test_pulse_energy_capped_at_reference():
+    model = LidarPowerModel(reference_pulse_uj=50.0, reference_range_m=100.0)
+    assert model.pulse_energy_uj(400.0) == pytest.approx(50.0)
+
+
+def test_pulse_energy_floor():
+    model = LidarPowerModel(min_pulse_uj=0.5)
+    assert model.pulse_energy_uj(0.1) == pytest.approx(0.5)
+
+
+def test_pulse_energy_invalid_range():
+    with pytest.raises(ValueError):
+        LidarPowerModel().pulse_energy_uj(0.0)
+
+
+def test_scan_energy_adaptive_below_fixed():
+    model = LidarPowerModel()
+    ranges = np.linspace(5, 60, 100)
+    assert model.scan_energy_mj(ranges, adaptive=True) < \
+        model.scan_energy_mj(ranges, adaptive=False)
+
+
+def test_scan_energy_empty():
+    assert LidarPowerModel().scan_energy_mj(np.array([])) == 0.0
+
+
+def test_table2_pulse_count_consistency():
+    """72 mJ / 50 uJ = 1440 pulses, the paper's implied beam grid."""
+    model = LidarPowerModel(reference_pulse_uj=50.0)
+    ranges = np.full(1440, 60.0)
+    full = model.scan_energy_mj(ranges, adaptive=False)
+    assert full == pytest.approx(72.0)
+
+
+def test_diffraction_limit_tradeoffs():
+    base = diffraction_limited_resolution(905.0, 25.0)
+    bigger_aperture = diffraction_limited_resolution(905.0, 50.0)
+    shorter_wavelength = diffraction_limited_resolution(532.0, 25.0)
+    assert bigger_aperture < base
+    assert shorter_wavelength < base
+
+
+def test_diffraction_limit_invalid():
+    with pytest.raises(ValueError):
+        diffraction_limited_resolution(0.0, 25.0)
+
+
+# ------------------------------------------------------------ IMC crossbar
+def test_imc_tiles_ceiling():
+    from repro.hardware import CrossbarModel
+    xbar = CrossbarModel(max_rows=128, max_cols=128)
+    assert xbar.tiles(128, 128) == 1
+    assert xbar.tiles(129, 128) == 2
+    assert xbar.tiles(300, 300) == 9
+
+
+def test_imc_beats_digital_on_large_inference():
+    from repro.hardware import compare_architectures
+    out = compare_architectures(rows=512, cols=512, batch=1, bits=8)
+    assert out["imc_advantage"] > 2.0
+
+
+def test_imc_advantage_grows_with_spike_sparsity():
+    from repro.hardware import compare_architectures
+    dense = compare_architectures(256, 256, input_activity=1.0)
+    sparse = compare_architectures(256, 256, input_activity=0.1)
+    assert sparse["imc_advantage"] > dense["imc_advantage"]
+
+
+def test_digital_weight_caching_amortizes_traffic():
+    from repro.hardware import digital_mvm_energy_pj
+    uncached = digital_mvm_energy_pj(256, 256, batch=16,
+                                     weights_cached=False)
+    cached = digital_mvm_energy_pj(256, 256, batch=16, weights_cached=True)
+    assert cached < uncached
+
+
+def test_imc_validation():
+    from repro.hardware import CrossbarModel, digital_mvm_energy_pj
+    with pytest.raises(ValueError):
+        digital_mvm_energy_pj(0, 10)
+    with pytest.raises(ValueError):
+        CrossbarModel().mvm_energy_pj(10, 10, input_activity=2.0)
+    with pytest.raises(ValueError):
+        CrossbarModel().tiles(-1, 5)
+
+
+def test_imc_write_energy_positive():
+    from repro.hardware import CrossbarModel
+    assert CrossbarModel().write_energy_pj(64, 64) > 0

@@ -1,0 +1,172 @@
+"""Unit tests for optimizers: SGD, Adam, SPSA, LoRA, grad clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, SPSA, Adam, Dense, LoRAAdapter, Parameter,
+                      clip_grad_norm, mlp, mse_loss)
+
+RNG = np.random.default_rng(13)
+
+
+def _quadratic_problem():
+    """A parameter pulled toward a fixed target by MSE."""
+    target = np.array([1.0, -2.0, 3.0])
+    p = Parameter(np.zeros(3), name="theta")
+
+    def step_loss() -> float:
+        loss, grad = mse_loss(p.data, target)
+        p.zero_grad()
+        p.grad += grad
+        return loss
+
+    return p, target, step_loss
+
+
+def test_sgd_descends():
+    p, target, step_loss = _quadratic_problem()
+    opt = SGD([p], lr=0.5)
+    first = step_loss()
+    for _ in range(200):
+        step_loss()
+        opt.step()
+    assert mse_loss(p.data, target)[0] < first * 1e-4
+
+
+def test_sgd_momentum_converges():
+    p, target, step_loss = _quadratic_problem()
+    opt = SGD([p], lr=0.2, momentum=0.9)
+    for _ in range(200):
+        step_loss()
+        opt.step()
+    np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+
+def test_sgd_weight_decay_shrinks():
+    p = Parameter(np.ones(4) * 10)
+    opt = SGD([p], lr=0.1, weight_decay=1.0)
+    for _ in range(100):
+        p.zero_grad()
+        opt.step()
+    assert np.all(np.abs(p.data) < 1.0)
+
+
+def test_sgd_skips_frozen():
+    p = Parameter(np.ones(2), trainable=False)
+    p.grad += 1.0
+    SGD([p], lr=1.0).step()
+    np.testing.assert_array_equal(p.data, 1.0)
+
+
+def test_adam_converges():
+    p, target, step_loss = _quadratic_problem()
+    opt = Adam([p], lr=0.1)
+    for _ in range(400):
+        step_loss()
+        opt.step()
+    np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+
+def test_adam_trains_mlp():
+    net = mlp([2, 16, 1], rng=np.random.default_rng(1))
+    opt = Adam(net.parameters(), lr=1e-2)
+    x = RNG.normal(size=(64, 2))
+    y = (x[:, :1] * x[:, 1:]).copy()  # multiplicative target
+    first = None
+    for _ in range(200):
+        pred = net.forward(x)
+        loss, grad = mse_loss(pred, y)
+        if first is None:
+            first = loss
+        opt.zero_grad()
+        net.backward(grad)
+        opt.step()
+    assert loss < first * 0.2
+
+
+def test_clip_grad_norm():
+    p = Parameter(np.zeros(4))
+    p.grad += 10.0
+    pre = clip_grad_norm([p], max_norm=1.0)
+    assert pre == pytest.approx(20.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+
+def test_clip_grad_norm_noop_under_limit():
+    p = Parameter(np.zeros(4))
+    p.grad += 0.1
+    clip_grad_norm([p], max_norm=10.0)
+    np.testing.assert_allclose(p.grad, 0.1)
+
+
+def test_spsa_minimizes_quadratic():
+    spsa = SPSA(a=0.5, c=0.1, rng=np.random.default_rng(2))
+    target = np.array([2.0, -1.0, 0.5])
+    best, f_best, history = spsa.minimize(
+        lambda t: float(np.sum((t - target) ** 2)),
+        np.zeros(3), steps=200)
+    assert f_best < 0.05
+    assert history[0] > f_best
+
+
+def test_spsa_normalized_gradient_scale_invariance():
+    """Normalized SPSA makes identical progress on scaled objectives."""
+    target = np.ones(4) * 3
+
+    def run(scale):
+        spsa = SPSA(a=0.5, c=0.1, normalize_gradient=True,
+                    rng=np.random.default_rng(3))
+        _, f_best, _ = spsa.minimize(
+            lambda t: scale * float(np.sum((t - target) ** 2)),
+            np.zeros(4), steps=150)
+        return f_best / scale
+
+    assert run(1.0) == pytest.approx(run(1e6), rel=1e-6)
+
+
+def test_spsa_evaluations_per_step():
+    assert SPSA().evaluations_per_step() == 3
+
+
+def test_lora_starts_as_identity():
+    base = Dense(6, 4, rng=np.random.default_rng(4))
+    adapter = LoRAAdapter(base.weight, rank=2)
+    np.testing.assert_allclose(adapter.effective_weight(), base.weight.data)
+
+
+def test_lora_freezes_base():
+    base = Dense(6, 4, rng=np.random.default_rng(4))
+    adapter = LoRAAdapter(base.weight, rank=2)
+    assert not base.weight.trainable
+    assert all(p.trainable for p in adapter.parameters())
+
+
+def test_lora_trainable_fraction():
+    base = Dense(100, 100, rng=np.random.default_rng(4))
+    adapter = LoRAAdapter(base.weight, rank=4)
+    assert adapter.trainable_fraction() == pytest.approx(
+        4 * 200 / 10000)
+
+
+def test_lora_learns_offset():
+    """LoRA factors can absorb a rank-limited weight correction."""
+    rng = np.random.default_rng(5)
+    base = Parameter(rng.normal(size=(5, 5)))
+    true_delta = np.outer(rng.normal(size=5), rng.normal(size=5))
+    target_w = base.data + true_delta
+    adapter = LoRAAdapter(base, rank=2, rng=rng)
+    opt = Adam(adapter.parameters(), lr=5e-2)
+    x = rng.normal(size=(64, 5))
+    y = x @ target_w
+    for _ in range(300):
+        pred = adapter.forward(x)
+        loss, grad = mse_loss(pred, y)
+        opt.zero_grad()
+        adapter.backward(grad)
+        opt.step()
+    assert loss < 1e-3
+
+
+def test_lora_rejects_non_matrix():
+    with pytest.raises(ValueError):
+        LoRAAdapter(Parameter(np.zeros(3)), rank=2)

@@ -1,0 +1,176 @@
+"""Tests for the cart-pole and event-camera simulators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (CartPole, CartPoleParams, DisturbanceProcess,
+                       EventCameraConfig, EventCameraSimulator,
+                       make_flow_dataset, render_observation)
+
+
+# ---------------------------------------------------------------- cartpole
+def test_cartpole_reset_near_upright():
+    env = CartPole(rng=np.random.default_rng(0))
+    s = env.reset(noise_scale=0.01)
+    assert np.all(np.abs(s) <= 0.01)
+
+
+def test_cartpole_falls_without_control():
+    env = CartPole(rng=np.random.default_rng(1))
+    env.reset(noise_scale=0.05)
+    done = False
+    for _ in range(500):
+        _, _, done = env.step(0.0)
+        if done:
+            break
+    assert done  # the upright equilibrium is unstable
+
+
+def test_cartpole_action_clipped():
+    env = CartPole(rng=np.random.default_rng(2))
+    env.reset()
+    s_big, _, _ = env.step(100.0)
+    env2 = CartPole(rng=np.random.default_rng(2))
+    env2.reset()
+    s_one, _, _ = env2.step(1.0)
+    np.testing.assert_allclose(s_big, s_one)
+
+
+def test_cartpole_reward_upright_near_one():
+    env = CartPole(rng=np.random.default_rng(3))
+    env.reset(noise_scale=0.0)
+    _, r, done = env.step(0.0)
+    assert not done
+    assert r == pytest.approx(1.0, abs=0.05)
+
+
+def test_cartpole_done_outside_band():
+    env = CartPole(rng=np.random.default_rng(4))
+    env.reset()
+    env.state = np.array([5.0, 0.0, 0.0, 0.0])  # beyond x limit
+    _, r, done = env.step(0.0)
+    assert done and r == 0.0
+
+
+def test_disturbance_process_probability():
+    d = DisturbanceProcess(p=1.0, a_min=2.0, a_max=2.0)
+    rng = np.random.default_rng(5)
+    forces = [d.sample(rng) for _ in range(100)]
+    assert all(abs(f) == pytest.approx(2.0) for f in forces)
+    # both signs occur
+    assert any(f > 0 for f in forces) and any(f < 0 for f in forces)
+
+
+def test_disturbance_process_zero_probability():
+    d = DisturbanceProcess(p=0.0)
+    rng = np.random.default_rng(6)
+    assert all(d.sample(rng) == 0.0 for _ in range(50))
+
+
+def test_disturbance_validation():
+    with pytest.raises(ValueError):
+        DisturbanceProcess(p=1.5)
+    with pytest.raises(ValueError):
+        DisturbanceProcess(a_min=5.0, a_max=1.0)
+
+
+def test_disturbance_degrades_uncontrolled_survival():
+    def survival(p):
+        total = 0
+        for seed in range(8):
+            env = CartPole(disturbance=DisturbanceProcess(p=p, a_min=5,
+                                                          a_max=15),
+                           rng=np.random.default_rng(seed))
+            env.reset(noise_scale=0.02)
+            for t in range(300):
+                _, _, done = env.step(0.0)
+                if done:
+                    break
+            total += t
+        return total
+
+    assert survival(0.5) <= survival(0.0)
+
+
+def test_linearized_dynamics_unstable_pole():
+    env = CartPole()
+    a, b = env.linearized_dynamics()
+    eigs = np.abs(np.linalg.eigvals(a))
+    assert eigs.max() > 1.0  # open-loop unstable
+    assert b.shape == (4, 1)
+
+
+def test_linearization_matches_nonlinear_near_origin():
+    env = CartPole(rng=np.random.default_rng(7))
+    a, b = env.linearized_dynamics()
+    s0 = np.array([0.01, 0.0, 0.02, 0.0])
+    env.state = s0.copy()
+    s1, _, _ = env.step(0.1)
+    s1_lin = a @ s0 + b[:, 0] * 0.1
+    np.testing.assert_allclose(s1, s1_lin, atol=5e-4)
+
+
+def test_render_observation_draws_cart_and_pole():
+    img = render_observation(np.zeros(4), size=24)
+    assert img.shape == (24, 24)
+    assert img.max() == 1.0  # cart block
+    assert (img > 0.5).sum() >= 10  # pole pixels present
+
+
+def test_render_observation_responds_to_state():
+    left = render_observation(np.array([-2.0, 0, 0, 0]), size=24)
+    right = render_observation(np.array([2.0, 0, 0, 0]), size=24)
+    assert not np.allclose(left, right)
+
+
+# ------------------------------------------------------------ event camera
+def test_flow_sample_shapes():
+    sim = EventCameraSimulator(EventCameraConfig(height=12, width=12,
+                                                 n_substeps=3),
+                               rng=np.random.default_rng(8))
+    s = sim.sample()
+    assert s.event_volume.shape == (2, 12, 12)
+    assert s.frames.shape == (2, 12, 12)
+    assert s.flow.shape == (2, 12, 12)
+    assert s.event_frames.shape == (3, 2, 12, 12)
+    np.testing.assert_allclose(s.event_frames.sum(axis=0), s.event_volume)
+
+
+def test_events_nonnegative_integers():
+    sim = EventCameraSimulator(rng=np.random.default_rng(9))
+    s = sim.sample()
+    assert np.all(s.event_volume >= 0)
+    np.testing.assert_allclose(s.event_volume, np.round(s.event_volume))
+
+
+def test_larger_motion_makes_more_events():
+    cfg = EventCameraConfig(noise_events_per_pixel=0.0)
+    slow_total, fast_total = 0.0, 0.0
+    for seed in range(5):
+        slow = EventCameraSimulator(cfg, rng=np.random.default_rng(seed))
+        fast = EventCameraSimulator(cfg, rng=np.random.default_rng(seed))
+        slow_total += slow.sample(max_displacement=0.5).event_volume.sum()
+        fast_total += fast.sample(max_displacement=4.0).event_volume.sum()
+    assert fast_total > slow_total
+
+
+def test_flow_ground_truth_constant_field():
+    sim = EventCameraSimulator(rng=np.random.default_rng(10))
+    s = sim.sample()
+    assert np.unique(s.flow[0]).size == 1
+    assert np.unique(s.flow[1]).size == 1
+    assert np.abs(s.flow).max() <= 3.0
+
+
+def test_make_flow_dataset_reproducible():
+    a = make_flow_dataset(4, seed=5)
+    b = make_flow_dataset(4, seed=5)
+    for sa, sb in zip(a, b):
+        np.testing.assert_array_equal(sa.event_volume, sb.event_volume)
+        np.testing.assert_array_equal(sa.flow, sb.flow)
+
+
+def test_event_mask_nontrivial():
+    s = make_flow_dataset(1, seed=6)[0]
+    mask = s.has_event_mask
+    assert 0 < mask.sum() < mask.size

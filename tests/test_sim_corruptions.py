@@ -1,0 +1,126 @@
+"""Tests for the LiDAR corruption suite (the KITTI-C substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (CORRUPTIONS, LidarConfig, LidarScanner,
+                       apply_corruption, corruption_names, sample_scene)
+
+
+def _clean_scan(seed=0):
+    rng = np.random.default_rng(seed)
+    scanner = LidarScanner(LidarConfig(n_azimuth=36, n_elevation=8), rng=rng)
+    return scanner.scan(sample_scene(rng))
+
+
+SCAN = _clean_scan()
+
+
+def test_corruption_registry_complete():
+    assert set(corruption_names()) == {
+        "snow", "rain", "fog", "beam_missing", "motion_blur", "crosstalk",
+        "cross_sensor"}
+
+
+def test_apply_corruption_unknown_name():
+    with pytest.raises(KeyError):
+        apply_corruption(SCAN, "solar_flare")
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_zero_severity_is_mild(name):
+    """At severity 0 the corruption barely changes the scan."""
+    out = apply_corruption(SCAN, name, severity=0.0,
+                           rng=np.random.default_rng(1))
+    # No points removed or added beyond rounding effects.
+    assert abs(out.num_points - SCAN.num_points) <= 1
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corruption_preserves_invariants(name):
+    out = apply_corruption(SCAN, name, severity=0.7,
+                           rng=np.random.default_rng(2))
+    assert out.points.shape[1] == 4
+    assert out.labels.shape == (out.num_points,)
+    assert out.beam_ids.shape == (out.num_points,)
+    assert out.ranges.shape == (out.num_points,)
+    assert np.all(np.isfinite(out.points))
+    # Original scan untouched.
+    assert SCAN.num_points == _clean_scan().num_points
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corruption_severity_clipped(name):
+    out = apply_corruption(SCAN, name, severity=5.0,
+                           rng=np.random.default_rng(3))
+    assert np.all(np.isfinite(out.points))
+
+
+def test_snow_adds_near_range_clutter():
+    out = apply_corruption(SCAN, "snow", severity=0.8,
+                           rng=np.random.default_rng(4))
+    spurious = out.labels == -2
+    assert spurious.sum() > 0
+    assert np.median(out.ranges[spurious]) < np.median(SCAN.ranges)
+
+
+def test_rain_attenuates_intensity():
+    out = apply_corruption(SCAN, "rain", severity=0.8,
+                           rng=np.random.default_rng(5))
+    genuine = out.labels != -2
+    assert out.points[genuine, 3].mean() < SCAN.points[:, 3].mean()
+
+
+def test_fog_preferentially_drops_far_points():
+    out = apply_corruption(SCAN, "fog", severity=1.0,
+                           rng=np.random.default_rng(6))
+    assert out.num_points < SCAN.num_points
+    # Survivors skew nearer than the original population.
+    assert out.ranges.mean() < SCAN.ranges.mean() + 1.0
+
+
+def test_beam_missing_drops_whole_rows():
+    out = apply_corruption(SCAN, "beam_missing", severity=1.0,
+                           rng=np.random.default_rng(7))
+    n_el = SCAN.config.n_elevation
+    rows_before = set((SCAN.beam_ids % n_el).tolist())
+    rows_after = set((out.beam_ids % n_el).tolist())
+    assert rows_after < rows_before
+
+
+def test_motion_blur_keeps_count_moves_points():
+    out = apply_corruption(SCAN, "motion_blur", severity=1.0,
+                           rng=np.random.default_rng(8))
+    assert out.num_points == SCAN.num_points
+    displacement = np.linalg.norm(out.points[:, :2] - SCAN.points[:, :2],
+                                  axis=1)
+    assert displacement.max() > 0.1
+    # Blur is tangential: ranges stay (roughly) the same.
+    np.testing.assert_allclose(out.points[:, 2], SCAN.points[:, 2])
+
+
+def test_crosstalk_teleports_ranges():
+    out = apply_corruption(SCAN, "crosstalk", severity=1.0,
+                           rng=np.random.default_rng(9))
+    moved = out.labels == -2
+    assert moved.sum() > 0
+    assert out.num_points == SCAN.num_points
+
+
+def test_cross_sensor_adds_ghost_arc():
+    out = apply_corruption(SCAN, "cross_sensor", severity=0.6,
+                           rng=np.random.default_rng(10))
+    ghosts = out.labels == -2
+    assert ghosts.sum() > 20
+    # Ghost returns sit on a ring-like band, not uniformly everywhere.
+    ghost_r = out.ranges[ghosts]
+    assert ghost_r.std() < 6.0
+
+
+def test_severity_monotone_snow_clutter():
+    counts = []
+    for sev in (0.2, 0.5, 0.9):
+        out = apply_corruption(SCAN, "snow", severity=sev,
+                               rng=np.random.default_rng(11))
+        counts.append(int((out.labels == -2).sum()))
+    assert counts[0] < counts[-1]

@@ -1,0 +1,153 @@
+"""Tests for synthetic datasets, federated sharding, and the gridworld."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (ClassificationDataset, CoverageGridWorld,
+                       GridWorldConfig, make_synthetic_cifar,
+                       shard_dirichlet, shard_iid)
+
+
+# ----------------------------------------------------------------- dataset
+def test_synthetic_cifar_shapes_and_range():
+    ds = make_synthetic_cifar(n_per_class=10, n_classes=10, side=8, seed=0)
+    assert len(ds) == 100
+    assert ds.dim == 64
+    assert ds.n_classes == 10
+    assert np.all((ds.x >= 0) & (ds.x <= 1))
+    assert set(np.unique(ds.y)) == set(range(10))
+
+
+def test_synthetic_cifar_classes_separable():
+    """A linear probe must beat chance by a wide margin."""
+    ds = make_synthetic_cifar(n_per_class=40, seed=1)
+    train, test = ds.split(0.25, np.random.default_rng(2))
+    # Nearest-class-mean classifier.
+    means = np.stack([train.x[train.y == c].mean(axis=0)
+                      for c in range(ds.n_classes)])
+    d2 = ((test.x[:, None, :] - means[None]) ** 2).sum(axis=2)
+    acc = (np.argmin(d2, axis=1) == test.y).mean()
+    assert acc > 0.5  # chance is 0.1
+
+
+def test_dataset_split_disjoint():
+    ds = make_synthetic_cifar(n_per_class=10, seed=3)
+    train, test = ds.split(0.2, np.random.default_rng(4))
+    assert len(train) + len(test) == len(ds)
+    assert len(test) == int(0.2 * len(ds))
+
+
+def test_dataset_mismatched_lengths():
+    with pytest.raises(ValueError):
+        ClassificationDataset(np.zeros((5, 3)), np.zeros(4), 2)
+
+
+def test_dataset_batches_cover_everything():
+    ds = make_synthetic_cifar(n_per_class=5, seed=5)
+    seen = 0
+    for xb, yb in ds.batches(8, rng=np.random.default_rng(6)):
+        assert xb.shape[0] == yb.shape[0]
+        seen += xb.shape[0]
+    assert seen == len(ds)
+
+
+def test_shard_iid_partitions():
+    ds = make_synthetic_cifar(n_per_class=12, seed=7)
+    shards = shard_iid(ds, 4, rng=np.random.default_rng(8))
+    assert sum(len(s) for s in shards) == len(ds)
+    assert len(shards) == 4
+
+
+def test_shard_dirichlet_skews_labels():
+    ds = make_synthetic_cifar(n_per_class=50, seed=9)
+    iid = shard_iid(ds, 5, rng=np.random.default_rng(10))
+    noniid = shard_dirichlet(ds, 5, alpha=0.1, rng=np.random.default_rng(10))
+
+    def label_entropy(shards):
+        ents = []
+        for s in shards:
+            p = np.bincount(s.y, minlength=ds.n_classes) / len(s)
+            p = p[p > 0]
+            ents.append(-(p * np.log(p)).sum())
+        return np.mean(ents)
+
+    assert label_entropy(noniid) < label_entropy(iid)
+
+
+def test_shard_dirichlet_every_client_nonempty():
+    ds = make_synthetic_cifar(n_per_class=6, seed=11)
+    shards = shard_dirichlet(ds, 8, alpha=0.05,
+                             rng=np.random.default_rng(12))
+    assert all(len(s) >= 1 for s in shards)
+
+
+def test_shard_dirichlet_alpha_validation():
+    ds = make_synthetic_cifar(n_per_class=5, seed=13)
+    with pytest.raises(ValueError):
+        shard_dirichlet(ds, 3, alpha=0.0)
+
+
+# --------------------------------------------------------------- gridworld
+def test_gridworld_agents_placed_inside():
+    world = CoverageGridWorld(GridWorldConfig(size=10, n_agents=3))
+    for a in world.agents:
+        assert 0 <= a.position[0] < 10
+        assert 0 <= a.position[1] < 10
+
+
+def test_gridworld_step_requires_all_commands():
+    world = CoverageGridWorld(GridWorldConfig(n_agents=2))
+    with pytest.raises(ValueError):
+        world.step([((0, 0), 1)])
+
+
+def test_gridworld_move_clipped_to_bounds():
+    world = CoverageGridWorld(GridWorldConfig(size=6, n_agents=1))
+    world.agents[0].position = (0, 0)
+    world.step([((-5, -5), 1)])
+    assert world.agents[0].position == (0, 0)
+
+
+def test_gridworld_energy_charges_unclipped_disk():
+    config = GridWorldConfig(size=6, n_agents=1, event_rate=0.0,
+                             sense_energy_per_cell=1.0, move_energy=0.0)
+    world = CoverageGridWorld(config)
+    world.agents[0].position = (0, 0)  # disk mostly off-grid
+    world.step([((0, 0), 2)])
+    disk = CoverageGridWorld.disk_cell_count(2)
+    assert world.total_energy_mj == pytest.approx(disk)
+
+
+def test_gridworld_disk_cell_count_values():
+    assert CoverageGridWorld.disk_cell_count(0) == 1
+    assert CoverageGridWorld.disk_cell_count(1) == 5
+    assert CoverageGridWorld.disk_cell_count(2) == 13
+
+
+def test_gridworld_detection_accounting():
+    config = GridWorldConfig(size=8, n_agents=1, event_rate=0.8, event_ttl=3)
+    world = CoverageGridWorld(config, rng=np.random.default_rng(14))
+    big = int(np.ceil(np.sqrt(2) * 8))
+    for _ in range(20):
+        world.step([((0, 0), big)])  # sense everything
+    assert world.detected > 0
+    assert world.detection_rate == pytest.approx(1.0)
+
+
+def test_gridworld_events_expire_unobserved():
+    config = GridWorldConfig(size=8, n_agents=1, event_rate=0.8, event_ttl=2)
+    world = CoverageGridWorld(config, rng=np.random.default_rng(15))
+    for _ in range(20):
+        world.step([((0, 0), 0)])  # sense almost nothing
+    assert world.expired > 0
+    assert world.detection_rate < 0.5
+
+
+def test_gridworld_redundancy_metric():
+    config = GridWorldConfig(size=8, n_agents=2, event_rate=0.0)
+    world = CoverageGridWorld(config, rng=np.random.default_rng(16))
+    # Put both agents on the same cell: full overlap => redundancy ~2.
+    world.agents[0].position = (4, 4)
+    world.agents[1].position = (4, 4)
+    out = world.step([((0, 0), 2), ((0, 0), 2)])
+    assert out["redundancy"] == pytest.approx(2.0)

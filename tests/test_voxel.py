@@ -1,0 +1,185 @@
+"""Tests for voxelization and R-MAE radial masking."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LidarConfig, LidarScanner, sample_scene
+from repro.voxel import (RadialMaskConfig, VoxelGridConfig, angular_only_mask,
+                         beam_mask_from_segments, radial_mask,
+                         segment_of_azimuth, uniform_mask, voxelize)
+
+
+GRID = VoxelGridConfig(nx=16, ny=16, nz=2)
+
+
+def _cloud(seed=0):
+    rng = np.random.default_rng(seed)
+    scan = LidarScanner(LidarConfig(n_azimuth=48, n_elevation=8),
+                        rng=rng).scan(sample_scene(rng))
+    return voxelize(scan.points, scan.labels, GRID)
+
+
+# ------------------------------------------------------------------- grid
+def test_point_to_voxel_roundtrip():
+    coord = (3, 7, 1)
+    center = GRID.voxel_center(coord)
+    assert GRID.point_to_voxel(center) == coord
+
+
+def test_point_outside_grid_is_none():
+    assert GRID.point_to_voxel(np.array([-10.0, 0.0, 0.0])) is None
+    assert GRID.point_to_voxel(np.array([1000.0, 0.0, 0.0])) is None
+
+
+def test_voxel_range_and_azimuth():
+    coord = (4, 8, 0)  # y center = 0 + ... compute directly
+    center = GRID.voxel_center(coord)
+    assert GRID.voxel_range(coord) == pytest.approx(np.hypot(*center[:2]))
+    assert GRID.voxel_azimuth(coord) == pytest.approx(
+        np.arctan2(center[1], center[0]))
+
+
+def test_voxelize_counts_every_in_grid_point():
+    pts = np.array([
+        [10.0, 0.0, 1.0, 0.5],
+        [10.1, 0.1, 1.1, 0.7],   # same voxel
+        [50.0, 20.0, 2.0, 0.2],  # different voxel
+        [-5.0, 0.0, 0.0, 0.1],   # outside grid
+    ])
+    cloud = voxelize(pts, config=GRID)
+    assert cloud.num_occupied == 2
+    first = GRID.point_to_voxel(pts[0, :3])
+    feats = cloud.features[first]
+    assert feats[0] == pytest.approx(np.log1p(2))
+    assert feats[1] == pytest.approx(0.6)
+
+
+def test_voxelize_majority_labels():
+    pts = np.array([
+        [10.0, 0.0, 1.0, 0.5],
+        [10.1, 0.1, 1.1, 0.7],
+        [10.2, 0.0, 1.0, 0.5],
+    ])
+    labels = np.array([2, 2, 5])
+    cloud = voxelize(pts, labels, GRID)
+    coord = GRID.point_to_voxel(pts[0, :3])
+    assert cloud.point_labels[coord] == 2
+
+
+def test_occupancy_dense_matches_sparse():
+    cloud = _cloud()
+    dense = cloud.occupancy_dense()
+    assert dense.sum() == cloud.num_occupied
+    for c in cloud.coords:
+        assert dense[c] == 1.0
+
+
+def test_masked_subcloud():
+    cloud = _cloud()
+    keep = {c: (i % 2 == 0) for i, c in enumerate(cloud.coords)}
+    sub = cloud.masked(keep)
+    assert sub.num_occupied == sum(keep.values())
+    assert all(keep[c] for c in sub.coords)
+
+
+# ---------------------------------------------------------------- masking
+def test_segment_of_azimuth_bounds():
+    assert segment_of_azimuth(-np.pi, 24) == 0
+    assert segment_of_azimuth(np.pi - 1e-9, 24) == 23
+    assert 0 <= segment_of_azimuth(0.0, 24) < 24
+
+
+def test_radial_mask_keeps_near_voxels():
+    cloud = _cloud()
+    config = RadialMaskConfig(n_segments=8, segment_keep_fraction=1.0,
+                              reference_range_m=1000.0)
+    keep, segments = radial_mask(cloud, config, np.random.default_rng(1))
+    # All segments kept + huge reference range => everything survives.
+    assert all(keep.values())
+    assert segments.all()
+
+
+def test_radial_mask_fraction_near_target():
+    cloud = _cloud()
+    config = RadialMaskConfig()
+    fractions = []
+    for seed in range(8):
+        keep, _ = radial_mask(cloud, config, np.random.default_rng(seed))
+        fractions.append(np.mean(list(keep.values())))
+    mean_frac = float(np.mean(fractions))
+    # The paper's operating regime: a small sensed fraction (<~25%).
+    assert 0.02 < mean_frac < 0.3
+
+
+def test_radial_mask_range_probability_monotone():
+    config = RadialMaskConfig(reference_range_m=10.0, range_exponent=2.0)
+    probs = [config.range_keep_probability(r) for r in (5, 10, 20, 40)]
+    assert probs[0] == probs[1] == 1.0
+    assert probs[2] > probs[3]
+
+
+def test_radial_mask_respects_segments():
+    cloud = _cloud()
+    config = RadialMaskConfig(n_segments=12, segment_keep_fraction=0.25,
+                              reference_range_m=1000.0)
+    keep, segments = radial_mask(cloud, config, np.random.default_rng(2))
+    for coord, kept in keep.items():
+        seg = segment_of_azimuth(cloud.config.voxel_azimuth(coord), 12)
+        if kept:
+            assert segments[seg]
+        if not segments[seg]:
+            assert not kept
+
+
+def test_uniform_mask_fraction():
+    cloud = _cloud()
+    keep = uniform_mask(cloud, 0.5, np.random.default_rng(3))
+    frac = np.mean(list(keep.values()))
+    assert 0.3 < frac < 0.7
+
+
+def test_uniform_mask_validation():
+    with pytest.raises(ValueError):
+        uniform_mask(_cloud(), 1.5)
+
+
+def test_angular_only_mask_all_or_nothing_per_segment():
+    cloud = _cloud()
+    config = RadialMaskConfig(n_segments=6, segment_keep_fraction=0.5)
+    keep = angular_only_mask(cloud, config, np.random.default_rng(4))
+    by_segment = {}
+    for coord, kept in keep.items():
+        seg = segment_of_azimuth(cloud.config.voxel_azimuth(coord), 6)
+        by_segment.setdefault(seg, set()).add(kept)
+    for values in by_segment.values():
+        assert len(values) == 1  # consistent within each segment
+
+
+def test_mask_config_validation():
+    with pytest.raises(ValueError):
+        RadialMaskConfig(segment_keep_fraction=0.0)
+    with pytest.raises(ValueError):
+        RadialMaskConfig(n_segments=0)
+
+
+def test_beam_mask_from_segments():
+    lidar = LidarConfig(n_azimuth=24, n_elevation=4)
+    config = RadialMaskConfig(n_segments=24, segment_keep_fraction=0.25)
+    segments = np.zeros(24, dtype=bool)
+    segments[0] = True  # azimuth near -pi
+    fired = beam_mask_from_segments(segments, lidar, config)
+    assert fired.sum() == 4  # one azimuth column x 4 elevations
+    assert fired[:4].all()
+
+
+def test_beam_mask_with_expected_ranges_thins_far():
+    lidar = LidarConfig(n_azimuth=8, n_elevation=8)
+    config = RadialMaskConfig(n_segments=8, segment_keep_fraction=1.0,
+                              reference_range_m=5.0, range_exponent=4.0)
+    segments = np.ones(8, dtype=bool)
+    near = np.full(lidar.n_beams, 2.0)
+    far = np.full(lidar.n_beams, 80.0)
+    rng = np.random.default_rng(5)
+    fired_near = beam_mask_from_segments(segments, lidar, config, near, rng)
+    fired_far = beam_mask_from_segments(segments, lidar, config, far, rng)
+    assert fired_near.sum() > fired_far.sum()
