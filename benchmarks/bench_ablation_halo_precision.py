@@ -7,10 +7,8 @@ manual sweep — and avoid the 4-bit collapse.
 """
 
 import numpy as np
-import pytest
 
 from repro.federated import FLClient, FLServer, make_fleet
-from repro.federated.halo import PrecisionSelector
 from repro.nn import PrecisionConfig
 from repro.sim import make_synthetic_cifar, shard_dirichlet
 

@@ -12,11 +12,14 @@ Two axes the design section calls out:
 """
 
 import numpy as np
-import pytest
 
-from repro.koopman import (SpectralKoopmanDynamics, collect_transitions,
-                           evaluate_controller, fit_dynamics_model,
-                           make_controller)
+from repro.koopman import (
+    SpectralKoopmanDynamics,
+    collect_transitions,
+    evaluate_controller,
+    fit_dynamics_model,
+    make_controller,
+)
 
 from bench_utils import print_table, save_result
 

@@ -9,14 +9,18 @@ since only the range-aware mask avoids the R^4-expensive far pulses.
 """
 
 import numpy as np
-import pytest
 
 from repro.generative import RMAE, pretrain_rmae, reconstruction_iou
 from repro.hardware import LidarPowerModel
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
-                         angular_only_mask, radial_mask, uniform_mask,
-                         voxelize)
+from repro.voxel import (
+    RadialMaskConfig,
+    VoxelGridConfig,
+    angular_only_mask,
+    radial_mask,
+    uniform_mask,
+    voxelize,
+)
 
 from bench_utils import print_table, save_result
 

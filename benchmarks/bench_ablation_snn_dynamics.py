@@ -7,11 +7,9 @@ too wide blurs the spike nonlinearity).
 """
 
 import numpy as np
-import pytest
 
-from repro.neuromorphic.flow_models import AdaptiveSpikeNet
 from repro.neuromorphic import evaluate_aee, train_flow_model
-from repro.neuromorphic.snn import SpikingConv2d
+from repro.neuromorphic.flow_models import AdaptiveSpikeNet
 from repro.sim import make_flow_dataset
 from repro.sim.events import EventCameraConfig
 

@@ -7,7 +7,6 @@ AUC and the per-score compute (objective evaluations).
 """
 
 import numpy as np
-import pytest
 
 from repro.starnet import AUCExperimentConfig, run_auc_experiment
 

@@ -8,7 +8,6 @@ detection rates.
 """
 
 import numpy as np
-import pytest
 
 from repro.multiagent import compare_swarm_strategies
 from repro.sim import GridWorldConfig

@@ -8,7 +8,6 @@ sub-15% sensed fraction retains most of the achievable fidelity.
 """
 
 import numpy as np
-import pytest
 
 from repro.generative import RMAE, pretrain_rmae, reconstruction_iou
 from repro.sim import LidarConfig, LidarScanner, sample_scene

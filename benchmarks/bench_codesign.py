@@ -12,10 +12,8 @@ joint optimum makes.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import LoopPlant, end_to_end_codesign, modular_codesign, \
-    pareto_front
+from repro.core import LoopPlant, end_to_end_codesign, modular_codesign, pareto_front
 
 from bench_utils import print_table, save_result
 

@@ -9,9 +9,8 @@ composition.
 """
 
 import numpy as np
-import pytest
 
-from repro.federated import FLClient, FLServer, MODES, make_fleet
+from repro.federated import MODES, FLClient, FLServer, make_fleet
 from repro.sim import make_synthetic_cifar, shard_dirichlet
 
 from bench_utils import print_table, save_result

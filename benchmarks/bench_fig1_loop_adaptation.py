@@ -8,11 +8,19 @@ benchmarked on the loop abstraction directly.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import (Action, Actuator, Environment, Percept, Perception,
-                        Policy, RiskCoverageAdaptation, Sensor,
-                        SensingToActionLoop, SensorReading)
+from repro.core import (
+    Action,
+    Actuator,
+    Environment,
+    Percept,
+    Perception,
+    Policy,
+    RiskCoverageAdaptation,
+    SensingToActionLoop,
+    Sensor,
+    SensorReading,
+)
 from repro.neuromorphic import ann_energy_pj, snn_energy_pj
 
 from bench_utils import print_table, save_result

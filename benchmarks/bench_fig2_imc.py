@@ -8,9 +8,7 @@ size and input activity and reports where IMC wins — including the
 spiking case, where sparse input activity multiplies the advantage.
 """
 
-import pytest
-
-from repro.hardware import CrossbarModel, compare_architectures
+from repro.hardware import compare_architectures
 
 from bench_utils import print_table, save_result
 

@@ -7,8 +7,6 @@ analytic (architecture-derived), evaluated at a shared latent dimension
 since every model consumes the same visual encoder's embedding.
 """
 
-import pytest
-
 from repro.koopman import fig5a_macs
 
 from bench_utils import print_table, save_result

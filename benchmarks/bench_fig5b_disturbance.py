@@ -7,11 +7,14 @@ during evaluation.  The paper's claim: the (spectral Koopman) model
 """
 
 import numpy as np
-import pytest
 
-from repro.koopman import (build_model, collect_transitions,
-                           evaluate_controller, fit_dynamics_model,
-                           make_controller)
+from repro.koopman import (
+    build_model,
+    collect_transitions,
+    evaluate_controller,
+    fit_dynamics_model,
+    make_controller,
+)
 
 from bench_utils import print_table, save_result
 

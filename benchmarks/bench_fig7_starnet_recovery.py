@@ -10,13 +10,11 @@ unprotected, and STARNet-gated filtering.
 """
 
 import numpy as np
-import pytest
 
 from repro.detect import BEVDetector, build_target_maps, finetune_detector
 from repro.generative import RMAE, pretrain_rmae
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.starnet import (LidarFeatureExtractor, STARNet,
-                           run_recovery_experiment)
+from repro.starnet import LidarFeatureExtractor, STARNet, run_recovery_experiment
 from repro.voxel import VoxelGridConfig, voxelize
 
 from bench_utils import print_table, save_result

@@ -14,10 +14,8 @@ zero-flow baseline; spiking families must deliver large energy savings).
 """
 
 import numpy as np
-import pytest
 
-from repro.neuromorphic import (FLOW_MODEL_FAMILIES, build_flow_model,
-                                evaluate_aee, train_flow_model)
+from repro.neuromorphic import FLOW_MODEL_FAMILIES, build_flow_model, evaluate_aee, train_flow_model
 from repro.sim import make_flow_dataset
 from repro.sim.events import EventCameraConfig
 

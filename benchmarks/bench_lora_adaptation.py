@@ -13,7 +13,6 @@ detectable.
 """
 
 import numpy as np
-import pytest
 
 from repro.nn import VAE, train_vae
 from repro.starnet import LoRAFineTuner

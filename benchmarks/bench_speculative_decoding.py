@@ -10,9 +10,8 @@ the residual-resampling rule.
 """
 
 import numpy as np
-import pytest
 
-from repro.federated import NGramLM, autoregressive_decode, speculative_decode
+from repro.federated import NGramLM, speculative_decode
 
 from bench_utils import print_table, save_result
 

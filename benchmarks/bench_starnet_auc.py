@@ -9,9 +9,6 @@ moderate severity and asserts the paper's band: every family detectable
 (AUC >= 0.85), internal sensor failures near-perfect.
 """
 
-import numpy as np
-import pytest
-
 from repro.starnet import AUCExperimentConfig, run_auc_experiment
 
 from bench_utils import print_table, save_result

@@ -14,10 +14,8 @@ pretraining as a family helps.
 """
 
 import numpy as np
-import pytest
 
-from repro.detect import (DetectionExperimentConfig, make_detection_data,
-                          run_detection_experiment)
+from repro.detect import DetectionExperimentConfig, make_detection_data, run_detection_experiment
 from repro.sim.scenes import CLASS_NAMES
 
 from bench_utils import print_table, save_result

@@ -11,10 +11,14 @@ import numpy as np
 import pytest
 
 from repro.generative import RMAE, compare_energy, energy_ratio
-from repro.hardware import LidarPowerModel
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
-                         beam_mask_from_segments, radial_mask, voxelize)
+from repro.voxel import (
+    RadialMaskConfig,
+    VoxelGridConfig,
+    beam_mask_from_segments,
+    radial_mask,
+    voxelize,
+)
 
 from bench_utils import print_table, save_result
 

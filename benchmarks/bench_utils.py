@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI benchmark gate: re-run the fast benches and diff *shape-level*
+claims against the committed ``benchmarks/results/*.json`` baselines.
+
+Absolute numbers from the simulated substrates may drift with numpy or
+seed changes; what must not drift silently is the paper's qualitative
+shape — who wins, by roughly what factor, where the ordering falls.
+Three fast benches cover three pillars:
+
+* ``fig1_loop_adaptation`` — adaptive loop saves energy at matched
+  recall; event-driven compute beats clocked by >10x;
+* ``starnet_auc``          — every corruption family stays detectable;
+* ``fig5a_model_macs``     — the analytic MAC ordering is bit-exact.
+
+Exit status: 0 = no regression, 1 = regression, 2 = harness error.
+Run from anywhere: ``python benchmarks/check_regressions.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(HERE, "results")
+sys.path.insert(0, HERE)
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+# Relative tolerance for "roughly the same factor" comparisons.
+RATIO_TOL = 0.35
+# Absolute tolerance for AUC comparisons against the stored baseline.
+AUC_TOL = 0.08
+
+failures = []
+checked = 0
+
+
+def check(name: str, ok: bool, detail: str) -> None:
+    global checked
+    checked += 1
+    status = "ok  " if ok else "FAIL"
+    print(f"  [{status}] {name}: {detail}")
+    if not ok:
+        failures.append(f"{name}: {detail}")
+
+
+def load_baseline(name: str) -> dict:
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_fig1() -> None:
+    from bench_fig1_loop_adaptation import run_fig1
+
+    print("fig1_loop_adaptation:")
+    base = load_baseline("fig1_loop_adaptation")
+    now = run_fig1()
+
+    # Shape claim 1: the adaptive loop still wins on energy, and by a
+    # factor comparable to the baseline's.
+    ratio_now = now["static"]["energy_mj"] / now["adaptive"]["energy_mj"]
+    ratio_base = (base["static"]["energy_mj"]
+                  / base["adaptive"]["energy_mj"])
+    check("adaptive-wins-energy",
+          now["adaptive"]["energy_mj"] < now["static"]["energy_mj"],
+          f"static {now['static']['energy_mj']:.0f} mJ vs adaptive "
+          f"{now['adaptive']['energy_mj']:.0f} mJ")
+    check("energy-ratio-stable",
+          abs(ratio_now - ratio_base) <= RATIO_TOL * ratio_base,
+          f"ratio {ratio_now:.2f}x vs baseline {ratio_base:.2f}x "
+          f"(tol {RATIO_TOL:.0%})")
+
+    # Shape claim 2: recall stays near the static loop's.
+    check("recall-held",
+          now["adaptive"]["hazard_recall"]
+          >= now["static"]["hazard_recall"] - 0.25,
+          f"adaptive recall {now['adaptive']['hazard_recall']:.2f} vs "
+          f"static {now['static']['hazard_recall']:.2f}")
+
+    # Shape claim 3: event-driven compute still wins by >10x.
+    check("event-driven-wins",
+          now["event_pj"] * 10 < now["clocked_pj"],
+          f"clocked {now['clocked_pj']:.3g} pJ vs event "
+          f"{now['event_pj']:.3g} pJ")
+
+
+def check_starnet_auc() -> None:
+    from bench_starnet_auc import run_auc
+
+    print("starnet_auc:")
+    base = load_baseline("starnet_auc")
+    now = run_auc()
+
+    check("same-corruption-families", set(now) == set(base),
+          f"families {sorted(now)}")
+    for family in sorted(base):
+        if family not in now:
+            continue
+        check(f"auc-{family}",
+              now[family] >= 0.85
+              and abs(now[family] - base[family]) <= AUC_TOL,
+              f"{now[family]:.4f} vs baseline {base[family]:.4f} "
+              f"(floor 0.85, tol {AUC_TOL})")
+
+
+def check_fig5a() -> None:
+    from bench_fig5a_model_macs import run_fig5a
+
+    print("fig5a_model_macs:")
+    base = load_baseline("fig5a_model_macs")
+    now = run_fig5a()
+
+    order_now = sorted(now, key=lambda k: now[k]["total"])
+    order_base = sorted(base, key=lambda k: base[k]["total"])
+    check("mac-ordering", order_now == order_base,
+          f"{' < '.join(order_now)}")
+    check("spectral-wins", order_now and order_now[0] == "spectral_koopman",
+          f"cheapest model: {order_now[0] if order_now else '?'}")
+    # The counts are analytic: they must be bit-exact.
+    drift = {k for k in base
+             if k in now and now[k]["total"] != base[k]["total"]}
+    check("analytic-macs-exact", not drift,
+          "all totals match baseline" if not drift
+          else f"totals drifted for {sorted(drift)}")
+
+
+def main() -> int:
+    print("benchmark regression gate "
+          "(shape-level diffs vs benchmarks/results/)")
+    for fn in (check_fig1, check_starnet_auc, check_fig5a):
+        try:
+            fn()
+        except Exception as exc:  # harness failure, not a regression
+            print(f"ERROR running {fn.__name__}: {exc!r}")
+            return 2
+    print(f"\n{checked} shape checks, {len(failures)} regressions")
+    if failures:
+        for f in failures:
+            print(f"  regression: {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

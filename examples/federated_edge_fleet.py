@@ -11,8 +11,7 @@ Run:  python examples/federated_edge_fleet.py
 
 import numpy as np
 
-from repro.federated import (FLClient, FLServer, NGramLM, make_fleet,
-                             speculative_decode)
+from repro.federated import FLClient, FLServer, NGramLM, make_fleet, speculative_decode
 from repro.multiagent import compare_swarm_strategies
 from repro.sim import make_synthetic_cifar, shard_dirichlet
 

@@ -13,11 +13,15 @@ Run:  python examples/generative_lidar_perception.py
 
 import numpy as np
 
-from repro.generative import (RMAE, compare_energy, energy_ratio,
-                              pretrain_rmae, reconstruction_iou)
+from repro.generative import RMAE, compare_energy, energy_ratio, pretrain_rmae, reconstruction_iou
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
-                         beam_mask_from_segments, radial_mask, voxelize)
+from repro.voxel import (
+    RadialMaskConfig,
+    VoxelGridConfig,
+    beam_mask_from_segments,
+    radial_mask,
+    voxelize,
+)
 
 
 def main() -> None:

@@ -12,9 +12,15 @@ Run:  python examples/koopman_cartpole_control.py
 
 import numpy as np
 
-from repro.koopman import (RoboKoopAgent, build_model, collect_transitions,
-                           evaluate_controller, fig5a_macs,
-                           fit_dynamics_model, make_controller)
+from repro.koopman import (
+    RoboKoopAgent,
+    build_model,
+    collect_transitions,
+    evaluate_controller,
+    fig5a_macs,
+    fit_dynamics_model,
+    make_controller,
+)
 
 FIT_EPOCHS = {"mlp": 25, "dense_koopman": 1, "spectral_koopman": 90}
 

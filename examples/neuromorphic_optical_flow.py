@@ -10,8 +10,13 @@ Run:  python examples/neuromorphic_optical_flow.py
 
 import numpy as np
 
-from repro.neuromorphic import (DOTIE, FLOW_MODEL_FAMILIES, build_flow_model,
-                                evaluate_aee, train_flow_model)
+from repro.neuromorphic import (
+    DOTIE,
+    FLOW_MODEL_FAMILIES,
+    build_flow_model,
+    evaluate_aee,
+    train_flow_model,
+)
 from repro.sim import make_flow_dataset
 from repro.sim.events import EventCameraConfig
 

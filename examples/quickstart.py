@@ -12,8 +12,17 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import (Action, Actuator, Environment, Percept, Perception,
-                        Policy, Sensor, SensingToActionLoop, SensorReading)
+from repro.core import (
+    Action,
+    Actuator,
+    Environment,
+    Percept,
+    Perception,
+    Policy,
+    SensingToActionLoop,
+    Sensor,
+    SensorReading,
+)
 
 
 class DriftingTarget(Environment):

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.generative import RMAE, pretrain_rmae
 from repro.sim import LidarConfig, LidarScanner, sample_scene, snow
-from repro.starnet import (GatedFilter, LidarFeatureExtractor, STARNet)
+from repro.starnet import GatedFilter, LidarFeatureExtractor, STARNet
 from repro.voxel import VoxelGridConfig, voxelize
 
 

@@ -22,8 +22,7 @@ Run:  python examples/uncertainty_aware_sensing.py
 
 import numpy as np
 
-from repro.koopman import (ConformalPredictor, RecursiveKoopman,
-                           uncertainty_to_coverage)
+from repro.koopman import ConformalPredictor, RecursiveKoopman, uncertainty_to_coverage
 from repro.starnet import DriftDetector
 
 

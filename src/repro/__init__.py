@@ -19,13 +19,27 @@ Quickstart::
 
 """
 
-__version__ = "1.0.0"
+from . import (
+    core,
+    detect,
+    federated,
+    generative,
+    hardware,
+    koopman,
+    metrics,
+    multiagent,
+    neuromorphic,
+    nn,
+    obs,
+    sim,
+    starnet,
+    voxel,
+)
 
-from . import (core, detect, federated, generative, hardware, koopman,
-               metrics, multiagent, neuromorphic, nn, sim, starnet, voxel)
+__version__ = "1.0.0"
 
 __all__ = [
     "core", "nn", "hardware", "sim", "voxel", "generative", "detect",
     "koopman", "starnet", "neuromorphic", "federated", "multiagent",
-    "metrics", "__version__",
+    "metrics", "obs", "__version__",
 ]

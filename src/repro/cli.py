@@ -8,7 +8,14 @@ writing any code:
   fig5b, auc, fig11, swarm, speculative, codesign); the full table and
   figure suite, including the heavier Table I / Fig. 7 / Fig. 9 runs,
   lives in ``benchmarks/``;
+* ``profile <target>``  — run a scenario under a live metrics registry
+  and emit the span tree + metrics (JSON via ``--out``, JSONL via
+  ``--jsonl``, text summary to stdout); ``profile demo`` runs the
+  built-in five-stage loop scenario;
 * ``list``              — enumerate available demos and experiments.
+
+Every failure path (unknown demo/experiment/profile target, a demo
+whose ``main`` reports failure) exits non-zero so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -25,10 +32,15 @@ __all__ = ["main", "EXPERIMENTS"]
 
 # --------------------------------------------------------------- commands
 def _table2() -> dict:
-    from repro.generative import RMAE, compare_energy, energy_ratio
+    from repro.generative import compare_energy, energy_ratio
     from repro.sim import LidarConfig, LidarScanner, sample_scene
-    from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
-                             beam_mask_from_segments, radial_mask, voxelize)
+    from repro.voxel import (
+        RadialMaskConfig,
+        VoxelGridConfig,
+        beam_mask_from_segments,
+        radial_mask,
+        voxelize,
+    )
     lidar = LidarConfig(n_azimuth=72, n_elevation=20)
     grid = VoxelGridConfig(nx=24, ny=24, nz=2)
     rng = np.random.default_rng(0)
@@ -58,9 +70,13 @@ def _fig5a() -> dict:
 
 
 def _fig5b() -> dict:
-    from repro.koopman import (build_model, collect_transitions,
-                               evaluate_controller, fit_dynamics_model,
-                               make_controller)
+    from repro.koopman import (
+        build_model,
+        collect_transitions,
+        evaluate_controller,
+        fit_dynamics_model,
+        make_controller,
+    )
     transitions = collect_transitions(n_episodes=12,
                                       rng=np.random.default_rng(0))
     out = {}
@@ -117,7 +133,7 @@ def _speculative() -> dict:
 
 
 def _fig11() -> dict:
-    from repro.federated import FLClient, FLServer, MODES, make_fleet
+    from repro.federated import MODES, FLClient, FLServer, make_fleet
     from repro.sim import make_synthetic_cifar, shard_dirichlet
     ds = make_synthetic_cifar(n_per_class=40, seed=0)
     train, test = ds.split(0.25, np.random.default_rng(1))
@@ -183,7 +199,56 @@ def _run_demo(name: str) -> int:
     spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    module.main()
+    # Propagate the demo's own exit status instead of swallowing it:
+    # a demo main() returning a nonzero code must fail the CLI (CI
+    # gates on this).
+    rc = module.main()
+    return int(rc) if rc else 0
+
+
+PROFILE_BUILTIN = "demo"
+
+
+def _run_profile(target: str, out: str, jsonl: str, cycles: int) -> int:
+    from repro import obs
+
+    if (target != PROFILE_BUILTIN and target not in DEMOS
+            and target not in EXPERIMENTS):
+        choices = ", ".join([PROFILE_BUILTIN, *DEMOS, *sorted(EXPERIMENTS)])
+        print(f"unknown profile target {target!r}; choose from {choices}",
+              file=sys.stderr)
+        return 2
+
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        if target == PROFILE_BUILTIN:
+            obs.run_profile_scenario(cycles=cycles)
+            rc = 0
+        elif target in DEMOS:
+            rc = _run_demo(target)
+        else:
+            EXPERIMENTS[target]()
+            rc = 0
+    if rc != 0:
+        return rc
+
+    payload = obs.registry_payload(registry)
+    payload["target"] = target
+    try:
+        if out:
+            with open(out, "w") as f:
+                json.dump(payload, f, indent=2, default=str)
+            print(f"wrote profile to {out}", file=sys.stderr)
+        if jsonl:
+            n = obs.export_jsonl(registry, jsonl)
+            print(f"wrote {n} JSONL records to {jsonl}", file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot write profile artifact: {exc}", file=sys.stderr)
+        return 2
+    print(obs.render_report(registry, title=f"repro profile {target}"))
+    if not out and not jsonl:
+        print("\n(pass --out trace.json or --jsonl trace.jsonl to keep "
+              "the machine-readable artifact)", file=sys.stderr)
     return 0
 
 
@@ -199,21 +264,41 @@ def main(argv=None) -> int:
     exp = sub.add_parser("experiment",
                          help="regenerate a paper artifact (JSON to stdout)")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    prof = sub.add_parser(
+        "profile",
+        help="run a scenario under live telemetry and emit span tree "
+             "+ metrics ('demo' = built-in five-stage loop)")
+    prof.add_argument("target",
+                      help="'demo', an example name, or an experiment id")
+    prof.add_argument("--out", default="",
+                      help="write span tree + metrics JSON here")
+    prof.add_argument("--jsonl", default="",
+                      help="write one-record-per-line JSONL export here")
+    prof.add_argument("--cycles", type=int, default=120,
+                      help="loop cycles for the built-in 'demo' target")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         print("demos:       ", ", ".join(DEMOS))
         print("experiments: ", ", ".join(sorted(EXPERIMENTS)))
+        print("profile:      demo (built-in loop), any demo name, or any "
+              "experiment id")
         print("(the full table/figure suite lives in benchmarks/: "
               "pytest benchmarks/ --benchmark-only -s)")
         return 0
     if args.command == "demo":
         return _run_demo(args.name)
     if args.command == "experiment":
+        if args.id not in EXPERIMENTS:
+            print(f"unknown experiment {args.id!r}; choose from "
+                  f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+            return 2
         result = EXPERIMENTS[args.id]()
         json.dump(result, sys.stdout, indent=2, default=str)
         print()
         return 0
+    if args.command == "profile":
+        return _run_profile(args.target, args.out, args.jsonl, args.cycles)
     parser.print_help()
     return 1
 

@@ -5,16 +5,30 @@ staleness accounting, adaptation policies, cascading-error models,
 deadline scheduling, and hierarchical control.
 """
 
-from .components import (Action, Actuator, Environment, Monitor, Percept,
-                         Perception, Policy, Sensor, SensorReading)
-from .loop import CycleRecord, LoopMetrics, SensingToActionLoop
-from .adaptation import (RateAdaptation, ResolutionAdaptation,
-                         RiskCoverageAdaptation)
+from .adaptation import RateAdaptation, ResolutionAdaptation, RiskCoverageAdaptation
+from .codesign import (
+    DesignSpace,
+    LoopDesign,
+    LoopPlant,
+    end_to_end_codesign,
+    modular_codesign,
+    pareto_front,
+)
+from .components import (
+    Action,
+    Actuator,
+    Environment,
+    Monitor,
+    Percept,
+    Perception,
+    Policy,
+    Sensor,
+    SensorReading,
+)
 from .errors import CascadeModel, closed_loop_gain_estimate, staleness_error
-from .scheduling import LoopSchedule, Stage, synchronization_delay
 from .hierarchy import HierarchicalController
-from .codesign import (DesignSpace, LoopDesign, LoopPlant,
-                       end_to_end_codesign, modular_codesign, pareto_front)
+from .loop import CycleRecord, LoopMetrics, SensingToActionLoop
+from .scheduling import LoopSchedule, Stage, synchronization_delay
 
 __all__ = [
     "SensorReading", "Percept", "Action", "Sensor", "Perception", "Policy",

@@ -17,7 +17,7 @@ monitor (Sec. V) must catch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -13,9 +13,7 @@ tracks compute spent at each level so benches can show the effort split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
-
-import numpy as np
+from typing import Any, Callable
 
 __all__ = ["HierarchicalController"]
 

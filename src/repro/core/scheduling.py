@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 __all__ = ["Stage", "LoopSchedule", "synchronization_delay"]
 
 

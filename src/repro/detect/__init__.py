@@ -1,10 +1,13 @@
 """``repro.detect`` — BEV detection heads, AP evaluation, Table I pipeline."""
 
 from .ap import MATCH_DISTANCE_M, Detection, compute_ap, evaluate_class
-from .heads import (BEVDetector, DetectorConfig, build_target_maps,
-                    finetune_detector)
-from .pipeline import (PRETRAINERS, DetectionExperimentConfig,
-                       make_detection_data, run_detection_experiment)
+from .heads import BEVDetector, DetectorConfig, build_target_maps, finetune_detector
+from .pipeline import (
+    PRETRAINERS,
+    DetectionExperimentConfig,
+    make_detection_data,
+    run_detection_experiment,
+)
 
 __all__ = [
     "Detection", "compute_ap", "evaluate_class", "MATCH_DISTANCE_M",

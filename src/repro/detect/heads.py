@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..generative.rmae import RMAE, Norm2d
 from ..nn.layers import Conv2d, Module, ReLU
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam
@@ -26,7 +27,6 @@ from ..nn.sequential import Sequential
 from ..sim.scenes import CLASS_NAMES, Scene
 from ..voxel.grid import VoxelGridConfig, VoxelizedCloud
 from .ap import Detection
-from ..generative.rmae import RMAE, Norm2d
 
 __all__ = ["DetectorConfig", "BEVDetector", "build_target_maps",
            "finetune_detector"]

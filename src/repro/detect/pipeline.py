@@ -13,6 +13,7 @@ For each backbone (second_lite / pvrcnn_lite) and each pretraining method
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from ..generative.baselines import pretrain_also, pretrain_occmae
 from ..generative.rmae import RMAE, pretrain_rmae
+from ..obs.registry import get_registry
 from ..sim.lidar import LidarConfig, LidarScanner
 from ..sim.scenes import CLASS_NAMES, Scene, sample_scene
 from ..voxel.grid import VoxelGridConfig, VoxelizedCloud, voxelize
@@ -102,11 +104,15 @@ def make_detection_data(config: DetectionExperimentConfig
 def _evaluate(detector: BEVDetector,
               eval_pairs: List[Tuple[VoxelizedCloud, Scene]]
               ) -> Dict[str, float]:
+    obs = get_registry()
     grid = detector.grid
     per_scene_preds = []
     per_scene_gts: Dict[str, List[np.ndarray]] = {c: [] for c in CLASS_NAMES}
     for cloud, scene in eval_pairs:
+        t0 = time.perf_counter()
         per_scene_preds.append(detector.detect(cloud, score_threshold=0.15))
+        obs.histogram("detect.detect_s").observe(time.perf_counter() - t0)
+        obs.counter("detect.scenes").inc()
         for cls in CLASS_NAMES:
             # Only evaluate objects inside the detection grid, the
             # standard in-view convention.
@@ -136,15 +142,21 @@ def run_detection_experiment(method: str, backbone: str = "second_lite",
         data = make_detection_data(config)
     pretrain_clouds, train_pairs, eval_pairs = data
 
+    obs = get_registry()
     rng = np.random.default_rng(config.seed + 1)
     encoder = RMAE(config.grid, rng=rng)
     pretrainer = PRETRAINERS[method]
+    attrs = {"method": method, "backbone": backbone}
     if pretrainer is not None:
-        pretrainer(encoder, pretrain_clouds, config.pretrain_epochs,
-                   np.random.default_rng(config.seed + 2))
+        with obs.trace_span("detect.pretrain", attrs=attrs):
+            pretrainer(encoder, pretrain_clouds, config.pretrain_epochs,
+                       np.random.default_rng(config.seed + 2))
     detector = BEVDetector(config.grid, DetectorConfig(backbone=backbone),
                            encoder=encoder,
                            rng=np.random.default_rng(config.seed + 3))
-    finetune_detector(detector, train_pairs, epochs=config.finetune_epochs,
-                      rng=np.random.default_rng(config.seed + 4))
-    return _evaluate(detector, eval_pairs)
+    with obs.trace_span("detect.finetune", attrs=attrs):
+        finetune_detector(detector, train_pairs,
+                          epochs=config.finetune_epochs,
+                          rng=np.random.default_rng(config.seed + 4))
+    with obs.trace_span("detect.evaluate", attrs=attrs):
+        return _evaluate(detector, eval_pairs)

@@ -1,13 +1,11 @@
 """``repro.federated`` — multi-agent federated sensing-action loops (Sec. VII)."""
 
-from .heterogeneity import PROFILE_TIERS, make_fleet
-from .client import (ClientReport, FLClient, make_client_model,
-                     model_macs_per_sample)
+from .client import ClientReport, FLClient, make_client_model, model_macs_per_sample
 from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
 from .halo import PrecisionSelector, candidate_configs
+from .heterogeneity import PROFILE_TIERS, make_fleet
 from .server import MODES, FLServer, RoundSummary
-from .speculative import (NGramLM, SpeculativeStats, autoregressive_decode,
-                          speculative_decode)
+from .speculative import NGramLM, SpeculativeStats, autoregressive_decode, speculative_decode
 
 __all__ = [
     "PROFILE_TIERS", "make_fleet",

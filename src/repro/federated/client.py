@@ -8,18 +8,19 @@ hardware spent, computed from the analytic models in ``repro.hardware``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..hardware.energy import mac_energy_pj
 from ..hardware.latency import HardwareProfile, mac_area_um2
-from ..nn.layers import Dense
 from ..nn.losses import cross_entropy_with_logits
 from ..nn.optim import SGD
 from ..nn.quantize import PrecisionConfig, quantize
 from ..nn.sequential import Sequential, mlp
+from ..obs.registry import get_registry
 from ..sim.datasets import ClassificationDataset
 
 __all__ = ["ClientReport", "FLClient", "make_client_model",
@@ -72,6 +73,7 @@ class FLClient:
         sub-network: [w1 (D, h), b1 (h,), w2 (h, C), b2 (C,)].  Returns
         the updated slice and the resource report.
         """
+        wall0 = time.perf_counter()
         w1, b1, w2, b2 = [w.copy() for w in weights]
         input_dim, hidden = w1.shape
         n_classes = w2.shape[1]
@@ -122,4 +124,9 @@ class FLClient:
         )
         new_weights = [params[0].data.copy(), params[1].data.copy(),
                        params[2].data.copy(), params[3].data.copy()]
+        obs = get_registry()
+        obs.counter("federated.client_macs").inc(float(total_macs))
+        obs.counter("federated.client_energy_mj").inc(energy_mj)
+        obs.histogram("federated.client_train_s").observe(
+            time.perf_counter() - wall0)
         return new_weights, report

@@ -15,6 +15,7 @@ area, so relative reductions are read directly off the histories.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from ..nn.losses import softmax
 from ..nn.quantize import PrecisionConfig
+from ..obs.registry import get_registry
 from ..sim.datasets import ClassificationDataset
 from .client import FLClient, make_client_model, model_macs_per_sample
 from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
@@ -44,6 +46,8 @@ class RoundSummary:
     mean_train_loss: float
     client_hidden: List[int] = field(default_factory=list)
     client_bits: List[int] = field(default_factory=list)
+    comm_bytes: float = 0.0
+    wall_s: float = 0.0
 
 
 class FLServer:
@@ -106,26 +110,49 @@ class FLServer:
         return float((pred == self.test_data.y).mean())
 
     # --------------------------------------------------------------- rounds
+    @staticmethod
+    def _payload_bytes(weights: Sequence[np.ndarray],
+                       weight_bits: int) -> float:
+        """Wire size of one model payload at the given precision."""
+        n_params = sum(w.size for w in weights)
+        return n_params * weight_bits / 8.0
+
     def run_round(self) -> RoundSummary:
         """One full round: plan -> broadcast -> local train -> aggregate."""
+        obs = get_registry()
+        wall0 = time.perf_counter()
         client_updates: List[List[np.ndarray]] = []
         client_hidden: List[int] = []
         client_samples: List[int] = []
         reports = []
-        for client in self.clients:
-            hidden_used, precision = self._client_plan(client)
-            weights = slice_weights(self.global_weights, hidden_used)
-            updated, report = client.local_train(
-                weights, hidden_used, precision,
-                epochs=self.local_epochs, lr=self.lr)
-            client_updates.append(updated)
-            client_hidden.append(hidden_used)
-            client_samples.append(report.n_samples)
-            reports.append(report)
+        comm_bytes = 0.0
+        with obs.trace_span("federated.round",
+                            attrs={"mode": self.mode,
+                                   "round": len(self.history)}):
+            for client in self.clients:
+                hidden_used, precision = self._client_plan(client)
+                weights = slice_weights(self.global_weights, hidden_used)
+                # Downlink broadcast + uplink update, both at the
+                # client's weight precision.
+                comm_bytes += 2 * self._payload_bytes(
+                    weights, precision.weight_bits)
+                updated, report = client.local_train(
+                    weights, hidden_used, precision,
+                    epochs=self.local_epochs, lr=self.lr)
+                client_updates.append(updated)
+                client_hidden.append(hidden_used)
+                client_samples.append(report.n_samples)
+                reports.append(report)
 
-        self.global_weights = merge_subnetwork(
-            self.global_weights, client_updates, client_hidden,
-            client_samples)
+            self.global_weights = merge_subnetwork(
+                self.global_weights, client_updates, client_hidden,
+                client_samples)
+
+        wall_s = time.perf_counter() - wall0
+        obs.counter("federated.rounds").inc()
+        obs.counter("federated.comm_bytes").inc(comm_bytes)
+        obs.histogram("federated.round_wall_s").observe(wall_s)
+        obs.histogram("federated.round_comm_bytes").observe(comm_bytes)
 
         summary = RoundSummary(
             round_index=len(self.history),
@@ -136,6 +163,8 @@ class FLServer:
             mean_train_loss=float(np.mean([r.train_loss for r in reports])),
             client_hidden=client_hidden,
             client_bits=[r.precision.mac_bits for r in reports],
+            comm_bytes=comm_bytes,
+            wall_s=wall_s,
         )
         self.history.append(summary)
         return summary
@@ -156,4 +185,5 @@ class FLServer:
             "latency_ms": sum(h.max_latency_ms for h in self.history),
             "area_um2": float(np.mean([h.total_area_um2
                                        for h in self.history])),
+            "comm_bytes": sum(h.comm_bytes for h in self.history),
         }

@@ -1,11 +1,14 @@
 """``repro.generative`` — generative sensing / R-MAE (Sec. III)."""
 
-from .rmae import (RMAE, Norm2d, RMAEConfig, pretrain_rmae,
-                   reconstruction_iou)
 from .baselines import PRETRAIN_METHODS, pretrain_also, pretrain_occmae
-from .energy_account import (EDGE_GPU_PJ_PER_FLOP, EnergyReport,
-                             compare_energy, energy_ratio,
-                             reconstruction_energy_mj)
+from .energy_account import (
+    EDGE_GPU_PJ_PER_FLOP,
+    EnergyReport,
+    compare_energy,
+    energy_ratio,
+    reconstruction_energy_mj,
+)
+from .rmae import RMAE, Norm2d, RMAEConfig, pretrain_rmae, reconstruction_iou
 
 __all__ = [
     "RMAE", "RMAEConfig", "Norm2d", "pretrain_rmae", "reconstruction_iou",

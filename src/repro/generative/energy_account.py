@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..hardware.lidar_power import LidarPowerModel
 from ..sim.lidar import LidarScan
 

@@ -13,6 +13,7 @@ see :mod:`repro.detect.pipeline`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -22,8 +23,8 @@ from ..nn.layers import BatchNorm, Conv2d, ConvTranspose2d, Module, ReLU
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam
 from ..nn.sequential import Sequential
-from ..nn.sparse3d import (SparseConv3d, SparseReLU, SparseSequential,
-                           SparseVoxelTensor)
+from ..nn.sparse3d import SparseConv3d, SparseReLU, SparseSequential, SparseVoxelTensor
+from ..obs.registry import get_registry
 from ..voxel.grid import VoxelGridConfig, VoxelizedCloud
 from ..voxel.masking import RadialMaskConfig, radial_mask
 
@@ -143,9 +144,14 @@ class RMAE(Module):
     # ---------------------------------------------------------- full forward
     def forward(self, cloud: VoxelizedCloud) -> np.ndarray:
         """Occupancy logits (nz, nx, ny) reconstructed from the cloud."""
+        obs = get_registry()
+        t0 = time.perf_counter()
         sparse = self.encode(cloud)
         bev = self.bev_scatter(sparse)
         logits = self.decoder.forward(bev)
+        obs.histogram("rmae.reconstruct_s").observe(time.perf_counter() - t0)
+        obs.counter("rmae.reconstructions").inc()
+        obs.counter("rmae.active_voxels").inc(cloud.num_occupied)
         return logits[0]
 
     def reconstruct_occupancy(self, cloud: VoxelizedCloud,
@@ -164,6 +170,7 @@ class RMAE(Module):
         *unmasked* scan.  Occupied voxels are upweighted because the grid
         is mostly empty.
         """
+        t0 = time.perf_counter()
         logits = self.forward(masked)  # (nz, nx, ny)
         target = full_occupancy.transpose(2, 0, 1)
         weight = np.where(target > 0.5, positive_weight, 1.0)
@@ -171,6 +178,9 @@ class RMAE(Module):
         grad_bev = self.decoder.backward(grad[None])
         grad_sparse = self.bev_scatter_backward(grad_bev)
         self.encoder.backward(grad_sparse)
+        obs = get_registry()
+        obs.histogram("rmae.train_step_s").observe(time.perf_counter() - t0)
+        obs.counter("rmae.train_steps").inc()
         return loss
 
     def reconstruction_macs(self, n_active_voxels: int) -> int:

@@ -1,12 +1,17 @@
 """``repro.hardware`` — analytic energy / latency / area / link-budget models."""
 
-from .energy import (DRAM_ENERGY_PJ_PER_BYTE, MAC_ENERGY_PJ,
-                     MEMORY_ENERGY_PJ_PER_BYTE, EnergyLedger, mac_energy_pj,
-                     memory_energy_pj, model_inference_energy_mj)
-from .latency import (MAC_AREA_UM2, MAC_LATENCY_NS, HardwareProfile,
-                      mac_area_um2, mac_latency_ns)
-from .lidar_power import LidarPowerModel, diffraction_limited_resolution
+from .energy import (
+    DRAM_ENERGY_PJ_PER_BYTE,
+    MAC_ENERGY_PJ,
+    MEMORY_ENERGY_PJ_PER_BYTE,
+    EnergyLedger,
+    mac_energy_pj,
+    memory_energy_pj,
+    model_inference_energy_mj,
+)
 from .imc import CrossbarModel, compare_architectures, digital_mvm_energy_pj
+from .latency import MAC_AREA_UM2, MAC_LATENCY_NS, HardwareProfile, mac_area_um2, mac_latency_ns
+from .lidar_power import LidarPowerModel, diffraction_limited_resolution
 
 __all__ = [
     "MAC_ENERGY_PJ", "MEMORY_ENERGY_PJ_PER_BYTE", "DRAM_ENERGY_PJ_PER_BYTE",

@@ -1,17 +1,31 @@
 """``repro.koopman`` — RoboKoop: spectral Koopman control (Sec. IV)."""
 
-from .spectral import SpectralKoopmanOperator
-from .lqr import (LQRController, finite_horizon_lqr, infinite_horizon_lqr,
-                  riccati_recursion)
-from .baselines import (MODEL_FAMILIES, MPC_HORIZON, MPC_SAMPLES,
-                        DenseKoopmanDynamics, DynamicsModel, MLPDynamics,
-                        RecurrentDynamics, SpectralKoopmanDynamics,
-                        TransformerDynamics, build_model, fig5a_macs,
-                        fit_dynamics_model)
+from .agent import (
+    RoboKoopAgent,
+    collect_transitions,
+    evaluate_controller,
+    make_controller,
+    mpc_action,
+    run_disturbance_experiment,
+)
+from .baselines import (
+    MODEL_FAMILIES,
+    MPC_HORIZON,
+    MPC_SAMPLES,
+    DenseKoopmanDynamics,
+    DynamicsModel,
+    MLPDynamics,
+    RecurrentDynamics,
+    SpectralKoopmanDynamics,
+    TransformerDynamics,
+    build_model,
+    fig5a_macs,
+    fit_dynamics_model,
+)
 from .encoder import ContrastiveKoopmanEncoder
+from .lqr import LQRController, finite_horizon_lqr, infinite_horizon_lqr, riccati_recursion
 from .sac import ReplayBuffer, SACAgent, SACConfig
-from .agent import (RoboKoopAgent, collect_transitions, evaluate_controller,
-                    make_controller, mpc_action, run_disturbance_experiment)
+from .spectral import SpectralKoopmanOperator
 from .timevarying import RecursiveKoopman
 from .uncertainty import ConformalPredictor, uncertainty_to_coverage
 

@@ -15,14 +15,20 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.cartpole import CartPole, CartPoleParams, DisturbanceProcess
-from .baselines import (DenseKoopmanDynamics, DynamicsModel,
-                        SpectralKoopmanDynamics, build_model,
-                        fit_dynamics_model, MPC_HORIZON, MPC_SAMPLES)
+from ..sim.cartpole import CartPole, DisturbanceProcess
+from .baselines import (
+    MPC_HORIZON,
+    MPC_SAMPLES,
+    DenseKoopmanDynamics,
+    DynamicsModel,
+    SpectralKoopmanDynamics,
+    build_model,
+    fit_dynamics_model,
+)
 from .encoder import ContrastiveKoopmanEncoder
 from .lqr import LQRController
 

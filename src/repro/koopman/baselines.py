@@ -21,12 +21,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.counting import count_macs
 from ..nn.layers import Dense, GRUCell, Module, ReLU
 from ..nn.losses import mse_loss, softmax
 from ..nn.optim import Adam
 from ..nn.sequential import Sequential, mlp
-from ..nn.counting import count_macs
-from .lqr import LQRController, infinite_horizon_lqr
+from .lqr import LQRController
 from .spectral import SpectralKoopmanOperator
 
 __all__ = ["DynamicsModel", "MLPDynamics", "DenseKoopmanDynamics",

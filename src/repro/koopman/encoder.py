@@ -20,7 +20,7 @@ import numpy as np
 
 from ..nn.losses import info_nce, mse_loss
 from ..nn.optim import Adam
-from ..nn.sequential import Sequential, mlp
+from ..nn.sequential import mlp
 from ..sim.cartpole import render_observation
 from .spectral import SpectralKoopmanOperator
 

@@ -9,14 +9,13 @@ actor, EMA target critics, fixed entropy temperature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..nn.layers import Dense, Module, ReLU
 from ..nn.losses import mse_loss
 from ..nn.optim import Adam
-from ..nn.sequential import Sequential, mlp
+from ..nn.sequential import mlp
 
 __all__ = ["ReplayBuffer", "SACConfig", "SACAgent"]
 

@@ -19,7 +19,7 @@ instead of the ``(2K)^2`` of a dense Koopman matrix, and stability is a
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -12,8 +12,6 @@ dynamics online without storing history.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
 import numpy as np
 
 __all__ = ["RecursiveKoopman"]

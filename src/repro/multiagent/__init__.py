@@ -1,10 +1,13 @@
 """``repro.multiagent`` — swarm sensing-action coordination (Sec. VII)."""
 
-from .coverage import (coverage_redundancy, minimal_radius,
-                       plan_coordinated_step, rectangular_partition,
-                       voronoi_partition)
-from .swarm import (SwarmResult, compare_swarm_strategies, run_coordinated,
-                    run_uncoordinated)
+from .coverage import (
+    coverage_redundancy,
+    minimal_radius,
+    plan_coordinated_step,
+    rectangular_partition,
+    voronoi_partition,
+)
+from .swarm import SwarmResult, compare_swarm_strategies, run_coordinated, run_uncoordinated
 
 __all__ = [
     "voronoi_partition", "minimal_radius", "coverage_redundancy",

@@ -15,7 +15,7 @@ Both are scored on event-detection rate and total sensing energy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

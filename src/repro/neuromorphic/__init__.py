@@ -1,19 +1,35 @@
 """``repro.neuromorphic`` — spiking sensing-action loops (Sec. VI)."""
 
+from .conversion import RateCodedSNN, activation_maxima, convert_ann_to_snn
+from .dotie import DOTIE, BoundingBox
+from .energy import (
+    E_AC_PJ,
+    E_MAC_PJ,
+    ann_energy_pj,
+    energy_ratio_ann_over_snn,
+    registry_snn_energy_pj,
+    snn_energy_pj,
+    synop_energy_pj,
+)
+from .flow_models import (
+    FLOW_MODEL_FAMILIES,
+    AdaptiveSpikeNet,
+    EvFlowNet,
+    FlowModel,
+    FusionFlowNet,
+    SpikeFlowNet,
+    build_flow_model,
+    evaluate_aee,
+    train_flow_model,
+)
 from .neurons import LIFParameters, lif_step, surrogate_gradient
 from .snn import SpikingConv2d, spike_rate
-from .energy import (E_AC_PJ, E_MAC_PJ, ann_energy_pj,
-                     energy_ratio_ann_over_snn, snn_energy_pj)
-from .flow_models import (FLOW_MODEL_FAMILIES, AdaptiveSpikeNet, EvFlowNet,
-                          FlowModel, FusionFlowNet, SpikeFlowNet,
-                          build_flow_model, evaluate_aee, train_flow_model)
-from .dotie import DOTIE, BoundingBox
-from .conversion import RateCodedSNN, activation_maxima, convert_ann_to_snn
 
 __all__ = [
     "lif_step", "surrogate_gradient", "LIFParameters",
     "SpikingConv2d", "spike_rate",
     "E_MAC_PJ", "E_AC_PJ", "ann_energy_pj", "snn_energy_pj",
+    "synop_energy_pj", "registry_snn_energy_pj",
     "energy_ratio_ann_over_snn",
     "FlowModel", "EvFlowNet", "SpikeFlowNet", "FusionFlowNet",
     "AdaptiveSpikeNet", "FLOW_MODEL_FAMILIES", "build_flow_model",

@@ -8,11 +8,11 @@ maximum activation so LIF firing rates approximate the ReLU activations.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from ..nn.layers import Dense, Module, ReLU
+from ..nn.layers import Dense
 from ..nn.sequential import Sequential
 from .neurons import lif_step
 

@@ -14,7 +14,7 @@ spikes are clustered by spatial connectivity into bounding boxes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

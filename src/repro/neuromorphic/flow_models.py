@@ -20,7 +20,7 @@ encoder type and sparsity, which are preserved.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..nn.losses import mse_loss
 from ..nn.optim import Adam
 from ..nn.sequential import Sequential
 from ..sim.events import FlowSample
-from .energy import E_AC_PJ, E_MAC_PJ, ann_energy_pj, snn_energy_pj
+from .energy import ann_energy_pj, snn_energy_pj
 from .snn import SpikingConv2d, spike_rate
 
 __all__ = ["FlowModel", "EvFlowNet", "SpikeFlowNet", "FusionFlowNet",

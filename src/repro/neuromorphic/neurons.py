@@ -17,7 +17,7 @@ is where its accuracy-at-tiny-size advantage comes from (Fig. 9 right).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

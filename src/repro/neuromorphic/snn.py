@@ -18,6 +18,7 @@ import numpy as np
 
 from ..nn.layers import Conv2d, Module
 from ..nn.tensor import Parameter
+from ..obs.registry import get_registry
 from .neurons import surrogate_gradient
 
 __all__ = ["SpikingConv2d", "spike_rate"]
@@ -97,7 +98,17 @@ class SpikingConv2d(Module):
             caches.append((conv_cache, v_pre, s))
         self.last_membrane = v
         self._cache = (x.shape, caches, leak, thr)
-        return np.stack(spikes_out)
+        out = np.stack(spikes_out)
+        # Spike telemetry: counters feed the event-driven energy model
+        # (repro.neuromorphic.energy.registry_snn_energy_pj).
+        obs = get_registry()
+        if obs.enabled:
+            obs.counter("snn.spikes").inc(float(out.sum()))
+            obs.counter("snn.neuron_steps").inc(float(out.size))
+            obs.counter("snn.input_events").inc(
+                float(np.count_nonzero(x)))
+            obs.counter("snn.forward_passes").inc()
+        return out
 
     def backward(self, grad: np.ndarray,
                  grad_membrane: Optional[np.ndarray] = None) -> np.ndarray:

@@ -5,20 +5,47 @@ gradient-free SPSA used by STARNet), VAEs, sparse 3-D convolution,
 precision-reconfigurable quantization, and analytic MAC/FLOP counting.
 """
 
-from .tensor import Parameter, glorot_uniform, he_normal, orthogonal_init, zeros_init
-from .layers import (AvgPool2d, BatchNorm, Conv2d, ConvTranspose2d, Dense,
-                     Dropout, Flatten, GRUCell, Identity, LayerNorm,
-                     LeakyReLU, MaxPool2d, Module, ReLU, Sigmoid, Softplus,
-                     Tanh)
-from .sequential import Sequential, mlp
-from .losses import (bce_with_logits, cross_entropy_with_logits, gaussian_kl,
-                     huber_loss, info_nce, mse_loss, softmax)
-from .optim import SGD, SPSA, Adam, LoRAAdapter, clip_grad_norm
 from .counting import OpCount, count_conv2d, count_dense, count_macs, count_module
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ConvTranspose2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GRUCell,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+from .losses import (
+    bce_with_logits,
+    cross_entropy_with_logits,
+    gaussian_kl,
+    huber_loss,
+    info_nce,
+    mse_loss,
+    softmax,
+)
+from .optim import SGD, SPSA, Adam, LoRAAdapter, clip_grad_norm
 from .quantize import SUPPORTED_BITS, PrecisionConfig, quantization_noise_power, quantize
+from .sequential import Sequential, mlp
+from .sparse3d import (
+    SparseConv3d,
+    SparseGlobalPool,
+    SparseReLU,
+    SparseSequential,
+    SparseVoxelTensor,
+)
+from .tensor import Parameter, glorot_uniform, he_normal, orthogonal_init, zeros_init
 from .vae import VAE, train_vae
-from .sparse3d import (SparseConv3d, SparseGlobalPool, SparseReLU,
-                       SparseSequential, SparseVoxelTensor)
 
 __all__ = [
     "Parameter", "glorot_uniform", "he_normal", "orthogonal_init", "zeros_init",

@@ -10,14 +10,29 @@ from architecture, not measured wall-clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
-from .layers import (AvgPool2d, BatchNorm, Conv2d, ConvTranspose2d, Dense,
-                     Dropout, Flatten, GRUCell, Identity, LayerNorm,
-                     LeakyReLU, MaxPool2d, Module, ReLU, Sigmoid, Softplus,
-                     Tanh)
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ConvTranspose2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GRUCell,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
 from .sequential import Sequential
 
 __all__ = ["OpCount", "count_dense", "count_conv2d", "count_module", "count_macs"]

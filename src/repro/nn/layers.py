@@ -8,11 +8,11 @@ all the training loops in this repository require.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from .tensor import Parameter, glorot_uniform, he_normal, zeros_init, orthogonal_init
+from .tensor import Parameter, glorot_uniform, he_normal, zeros_init
 
 __all__ = [
     "Module",

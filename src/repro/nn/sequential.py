@@ -6,7 +6,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from .layers import Dense, Module, ReLU, Tanh, Identity
+from .layers import Dense, Module, ReLU
 
 __all__ = ["Sequential", "mlp"]
 

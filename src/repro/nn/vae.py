@@ -15,7 +15,7 @@ import numpy as np
 from .layers import Dense, Module, ReLU
 from .losses import gaussian_kl, mse_loss
 from .optim import Adam
-from .sequential import Sequential, mlp
+from .sequential import mlp
 
 __all__ = ["VAE", "train_vae"]
 

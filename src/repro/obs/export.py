@@ -1,0 +1,172 @@
+"""Serialization and text rendering for observability data.
+
+Two output forms:
+
+* **JSONL** — one JSON object per line (``counter`` / ``gauge`` /
+  ``histogram`` / ``span`` records), the machine-readable artifact the
+  CI benchmark gate and external dashboards consume;
+* **text** — an aligned metrics table plus a "flamegraph-ish" span-tree
+  summary where sibling spans with the same name are merged and each
+  line carries a bar proportional to its share of root wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .spans import Span
+
+__all__ = ["export_jsonl", "read_jsonl", "registry_payload",
+           "aggregate_spans", "render_span_tree", "render_metrics",
+           "render_report"]
+
+
+# ----------------------------------------------------------------- JSONL
+def registry_payload(registry) -> dict:
+    """One JSON-ready object with every metric and root span tree."""
+    return {
+        "metrics": registry.snapshot(),
+        "spans": [s.as_dict() for s in registry.spans],
+        "dropped_spans": getattr(getattr(registry, "tracer", None),
+                                 "dropped", 0),
+    }
+
+
+def export_jsonl(registry, path: str) -> int:
+    """Write every instrument and span tree as JSON lines.
+
+    Returns the number of lines written.
+    """
+    lines = []
+    for inst in registry.instruments():
+        lines.append(json.dumps(inst.as_dict(), sort_keys=True))
+    for root in registry.spans:
+        lines.append(json.dumps({"kind": "span", "tree": root.as_dict()},
+                                sort_keys=True))
+    with open(path, "w") as f:
+        for line in lines:
+            f.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSONL export back into a list of records."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------- span aggregation
+class AggregatedSpan:
+    """Same-named siblings merged: totals over every occurrence."""
+
+    __slots__ = ("name", "count", "total_s", "energy_mj", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.energy_mj: Dict[str, float] = {}
+        self.children: Dict[str, "AggregatedSpan"] = {}
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.total_s += span.duration_s
+        if span.energy_mj:
+            for k, v in span.energy_mj.items():
+                self.energy_mj[k] = self.energy_mj.get(k, 0.0) + v
+        for child in span.children:
+            agg = self.children.get(child.name)
+            if agg is None:
+                agg = self.children[child.name] = AggregatedSpan(child.name)
+            agg.add(child)
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.energy_mj.get("total_mj",
+                                  sum(self.energy_mj.values()))
+
+
+def aggregate_spans(roots: Sequence[Span]) -> List[AggregatedSpan]:
+    """Merge a span forest by name at every level of the tree."""
+    merged: Dict[str, AggregatedSpan] = {}
+    for root in roots:
+        agg = merged.get(root.name)
+        if agg is None:
+            agg = merged[root.name] = AggregatedSpan(root.name)
+        agg.add(root)
+    return list(merged.values())
+
+
+# --------------------------------------------------------------- render
+def _render_agg(agg: AggregatedSpan, root_total: float, depth: int,
+                lines: List[str], bar_width: int) -> None:
+    share = agg.total_s / root_total if root_total > 0 else 0.0
+    bar = "#" * max(1, round(share * bar_width)) if agg.total_s else ""
+    energy = (f"  {agg.total_energy_mj:10.3f} mJ" if agg.energy_mj else
+              " " * 14)
+    lines.append(f"{'  ' * depth}{agg.name:<28.28}"
+                 f"{1e3 * agg.total_s:9.2f} ms  x{agg.count:<5d}"
+                 f"{100 * share:6.1f}%{energy}  {bar}")
+    for child in sorted(agg.children.values(), key=lambda c: -c.total_s):
+        _render_agg(child, root_total, depth + 1, lines, bar_width)
+
+
+def render_span_tree(roots: Sequence[Span], bar_width: int = 24) -> str:
+    """Flamegraph-ish text summary of a span forest.
+
+    Same-named spans are merged per tree level; the bar shows each
+    node's share of total root wall time.
+    """
+    aggs = aggregate_spans(roots)
+    if not aggs:
+        return "(no spans recorded)"
+    root_total = sum(a.total_s for a in aggs)
+    lines = [f"{'span':<28}{'total':>9}      {'calls':<5}{'share':>7}"
+             f"{'energy':>17}"]
+    for agg in sorted(aggs, key=lambda a: -a.total_s):
+        _render_agg(agg, root_total, 0, lines, bar_width)
+    return "\n".join(lines)
+
+
+def render_metrics(registry) -> str:
+    """Aligned text table of every counter, gauge, and histogram."""
+    snap = registry.snapshot()
+    lines: List[str] = []
+    if snap["counters"]:
+        lines.append("counters:")
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<36}{value:>16.6g}")
+    if snap["gauges"]:
+        lines.append("gauges:")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<36}{value:>16.6g}")
+    if snap["histograms"]:
+        lines.append("histograms:"
+                     f"  {'count':>8}{'mean':>12}{'p50':>12}"
+                     f"{'p95':>12}{'p99':>12}")
+        for name, h in snap["histograms"].items():
+            lines.append(f"  {name:<36}{h['count']:>8d}{h['mean']:>12.4g}"
+                         f"{h['p50']:>12.4g}{h['p95']:>12.4g}"
+                         f"{h['p99']:>12.4g}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_report(registry, title: Optional[str] = None) -> str:
+    """Full text report: span tree then metrics."""
+    parts = []
+    if title:
+        parts.append(f"=== {title} ===")
+    parts.append(render_span_tree(registry.spans))
+    parts.append("")
+    parts.append(render_metrics(registry))
+    dropped = getattr(getattr(registry, "tracer", None), "dropped", 0)
+    if dropped:
+        parts.append(f"(note: {dropped} spans beyond the retention cap "
+                     "were timed but not retained)")
+    return "\n".join(parts)

@@ -7,19 +7,24 @@ data with federated sharding (CIFAR-10 substitute), and the multi-agent
 coverage gridworld.
 """
 
-from .scenes import (CLASS_DIMENSIONS, CLASS_NAMES, Scene, SceneObject,
-                     sample_dataset, sample_scene)
-from .lidar import LidarConfig, LidarScan, LidarScanner
-from .corruptions import (CORRUPTIONS, apply_corruption, beam_missing,
-                          corruption_names, cross_sensor, crosstalk, fog,
-                          motion_blur, rain, snow)
-from .cartpole import (CartPole, CartPoleParams, DisturbanceProcess,
-                       render_observation)
-from .events import (EventCameraConfig, EventCameraSimulator, FlowSample,
-                     make_flow_dataset)
-from .datasets import (ClassificationDataset, make_synthetic_cifar,
-                       shard_dirichlet, shard_iid)
+from .cartpole import CartPole, CartPoleParams, DisturbanceProcess, render_observation
+from .corruptions import (
+    CORRUPTIONS,
+    apply_corruption,
+    beam_missing,
+    corruption_names,
+    cross_sensor,
+    crosstalk,
+    fog,
+    motion_blur,
+    rain,
+    snow,
+)
+from .datasets import ClassificationDataset, make_synthetic_cifar, shard_dirichlet, shard_iid
+from .events import EventCameraConfig, EventCameraSimulator, FlowSample, make_flow_dataset
 from .gridworld import AgentState, CoverageGridWorld, GridWorldConfig
+from .lidar import LidarConfig, LidarScan, LidarScanner
+from .scenes import CLASS_DIMENSIONS, CLASS_NAMES, Scene, SceneObject, sample_dataset, sample_scene
 
 __all__ = [
     "CLASS_NAMES", "CLASS_DIMENSIONS", "Scene", "SceneObject",

@@ -18,7 +18,7 @@ A sample is a pair ``(event_volume, frames, flow)``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

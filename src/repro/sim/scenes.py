@@ -9,7 +9,7 @@ cars) transfers.  Scenes are sampled deterministically from a seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -1,15 +1,18 @@
 """``repro.starnet`` — sensor trustworthiness monitoring (Sec. V)."""
 
-from .likelihood_regret import (likelihood_regret_exact,
-                                likelihood_regret_spsa, per_sample_elbo,
-                                reconstruction_error_score)
-from .features import LidarFeatureExtractor, camera_features, scan_statistics
-from .monitor import STARNet
-from .evaluation import AUCExperimentConfig, generate_scans, run_auc_experiment
-from .lora import LoRAFineTuner
-from .fusion import GatedFilter, filter_backscatter, run_recovery_experiment
-from .temporal import DriftDetector
 from .adaptive_fusion import ContextAwareThreshold, ReliabilityWeightedFusion
+from .evaluation import AUCExperimentConfig, generate_scans, run_auc_experiment
+from .features import LidarFeatureExtractor, camera_features, scan_statistics
+from .fusion import GatedFilter, filter_backscatter, run_recovery_experiment
+from .likelihood_regret import (
+    likelihood_regret_exact,
+    likelihood_regret_spsa,
+    per_sample_elbo,
+    reconstruction_error_score,
+)
+from .lora import LoRAFineTuner
+from .monitor import STARNet
+from .temporal import DriftDetector
 
 __all__ = [
     "per_sample_elbo", "likelihood_regret_spsa", "likelihood_regret_exact",

@@ -14,7 +14,7 @@ backward pass is reused unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

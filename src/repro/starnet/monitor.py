@@ -13,16 +13,18 @@ sensing-to-action loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.components import Monitor, Percept
 from ..nn.vae import VAE, train_vae
-from .likelihood_regret import (likelihood_regret_exact,
-                                likelihood_regret_spsa,
-                                reconstruction_error_score)
+from ..obs.registry import get_registry
+from .likelihood_regret import (
+    likelihood_regret_exact,
+    likelihood_regret_spsa,
+    reconstruction_error_score,
+)
 
 __all__ = ["STARNet", "ScoreMethod"]
 
@@ -84,6 +86,8 @@ class STARNet(Monitor):
 
     def _raw_score(self, xn: np.ndarray) -> float:
         if self.score_method == "spsa":
+            get_registry().counter("starnet.spsa_iterations").inc(
+                self.spsa_steps)
             return likelihood_regret_spsa(self.vae, xn, steps=self.spsa_steps,
                                           rng=self.rng)
         if self.score_method == "exact":
@@ -104,5 +108,11 @@ class STARNet(Monitor):
     # ------------------------------------------------------- Monitor proto
     def assess(self, percept: Percept) -> float:
         """Trust in [0, 1]: sigmoid of the negated calibrated z-score."""
-        z = self.zscore(percept.features)
-        return float(1.0 / (1.0 + np.exp(np.clip(z - 3.0, -60, 60))))
+        obs = get_registry()
+        with obs.trace_span("starnet.assess"):
+            z = self.zscore(percept.features)
+            trust = float(1.0 / (1.0 + np.exp(np.clip(z - 3.0, -60, 60))))
+        obs.counter("starnet.assessments").inc()
+        obs.histogram("starnet.trust").observe(trust)
+        obs.histogram("starnet.zscore").observe(z)
+        return trust

@@ -1,10 +1,15 @@
 """``repro.voxel`` — voxelization and R-MAE radial masking."""
 
-from .grid import VoxelGridConfig, VoxelizedCloud, voxelize
-from .masking import (RadialMaskConfig, angular_only_mask,
-                      beam_mask_from_segments, radial_mask,
-                      segment_of_azimuth, uniform_mask)
 from .adaptive_masking import AdaptiveMaskPlanner
+from .grid import VoxelGridConfig, VoxelizedCloud, voxelize
+from .masking import (
+    RadialMaskConfig,
+    angular_only_mask,
+    beam_mask_from_segments,
+    radial_mask,
+    segment_of_azimuth,
+    uniform_mask,
+)
 
 __all__ = [
     "VoxelGridConfig", "VoxelizedCloud", "voxelize",

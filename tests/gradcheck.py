@@ -6,7 +6,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn import Module, Parameter
+from repro.nn import Module
 
 
 def numeric_gradient(f: Callable[[], float], array: np.ndarray,

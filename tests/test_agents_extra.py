@@ -4,14 +4,12 @@ detection pipeline grid handling, and disturbance harness."""
 import numpy as np
 import pytest
 
+from gradcheck import numeric_gradient
 from repro.generative.rmae import Norm2d
-from repro.koopman import (RoboKoopAgent, build_model, collect_transitions,
-                           run_disturbance_experiment)
+from repro.koopman import RoboKoopAgent, build_model, run_disturbance_experiment
 from repro.koopman.agent import _stage_cost
 from repro.koopman.encoder import ContrastiveKoopmanEncoder
 from repro.sim import CartPole
-
-from gradcheck import numeric_gradient
 
 
 # ------------------------------------------------------------ Norm2d

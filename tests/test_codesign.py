@@ -1,10 +1,8 @@
 """Tests for the end-to-end co-design module (the paper's thesis)."""
 
-import numpy as np
 import pytest
 
-from repro.core import (DesignSpace, LoopDesign, LoopPlant,
-                        end_to_end_codesign, modular_codesign, pareto_front)
+from repro.core import LoopDesign, LoopPlant, end_to_end_codesign, modular_codesign, pareto_front
 
 
 PLANT = LoopPlant()

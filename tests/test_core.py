@@ -3,13 +3,28 @@
 import numpy as np
 import pytest
 
-from repro.core import (Action, Actuator, CascadeModel, Environment,
-                        HierarchicalController, LoopSchedule, Monitor,
-                        Percept, Perception, Policy, RateAdaptation,
-                        ResolutionAdaptation, RiskCoverageAdaptation, Sensor,
-                        SensingToActionLoop, SensorReading, Stage,
-                        closed_loop_gain_estimate, staleness_error,
-                        synchronization_delay)
+from repro.core import (
+    Action,
+    Actuator,
+    CascadeModel,
+    Environment,
+    HierarchicalController,
+    LoopSchedule,
+    Monitor,
+    Percept,
+    Perception,
+    Policy,
+    RateAdaptation,
+    ResolutionAdaptation,
+    RiskCoverageAdaptation,
+    SensingToActionLoop,
+    Sensor,
+    SensorReading,
+    Stage,
+    closed_loop_gain_estimate,
+    staleness_error,
+    synchronization_delay,
+)
 
 
 # ------------------------------------------------- a minimal concrete loop

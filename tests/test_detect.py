@@ -3,10 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.detect import (BEVDetector, Detection, DetectorConfig,
-                          DetectionExperimentConfig, build_target_maps,
-                          compute_ap, evaluate_class, finetune_detector,
-                          make_detection_data, run_detection_experiment)
+from repro.detect import (
+    BEVDetector,
+    Detection,
+    DetectionExperimentConfig,
+    DetectorConfig,
+    build_target_maps,
+    compute_ap,
+    evaluate_class,
+    finetune_detector,
+    make_detection_data,
+    run_detection_experiment,
+)
 from repro.sim import Scene, SceneObject
 from repro.voxel import VoxelGridConfig, voxelize
 

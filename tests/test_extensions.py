@@ -4,8 +4,7 @@ conformal uncertainty, drift detection, and adaptive masking."""
 import numpy as np
 import pytest
 
-from repro.koopman import (ConformalPredictor, RecursiveKoopman,
-                           uncertainty_to_coverage)
+from repro.koopman import ConformalPredictor, RecursiveKoopman, uncertainty_to_coverage
 from repro.sim import LidarConfig, LidarScanner, sample_scene
 from repro.starnet import DriftDetector
 from repro.voxel import AdaptiveMaskPlanner, RadialMaskConfig, VoxelGridConfig, voxelize

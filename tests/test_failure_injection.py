@@ -5,22 +5,36 @@ every subsystem must degrade gracefully rather than crash.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import (Action, Actuator, Environment, Percept, Perception,
-                        Policy, Sensor, SensingToActionLoop, SensorReading)
+from repro.core import (
+    Action,
+    Actuator,
+    Environment,
+    Percept,
+    Perception,
+    Policy,
+    SensingToActionLoop,
+    Sensor,
+    SensorReading,
+)
 from repro.detect import BEVDetector
 from repro.federated import FLClient, FLServer, make_fleet
 from repro.generative import RMAE, pretrain_rmae
 from repro.multiagent import run_coordinated
 from repro.neuromorphic import DOTIE, build_flow_model
-from repro.sim import (GridWorldConfig, LidarConfig, LidarScanner, Scene,
-                       make_flow_dataset, make_synthetic_cifar, sample_scene,
-                       shard_iid)
+from repro.sim import (
+    GridWorldConfig,
+    LidarConfig,
+    LidarScanner,
+    Scene,
+    make_flow_dataset,
+    make_synthetic_cifar,
+    sample_scene,
+    shard_iid,
+)
 from repro.sim.events import FlowSample
 from repro.starnet import LidarFeatureExtractor, filter_backscatter
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig, radial_mask,
-                         voxelize)
+from repro.voxel import RadialMaskConfig, VoxelGridConfig, radial_mask, voxelize
 
 GRID = VoxelGridConfig(nx=16, ny=16, nz=2)
 LIDAR = LidarConfig(n_azimuth=24, n_elevation=6)

@@ -4,12 +4,22 @@ speculative decoding."""
 import numpy as np
 import pytest
 
-from repro.federated import (FLClient, FLServer, MODES, NGramLM,
-                             PROFILE_TIERS, PrecisionSelector,
-                             autoregressive_decode, candidate_configs,
-                             make_client_model, make_fleet, merge_subnetwork,
-                             model_macs_per_sample, select_hidden_width,
-                             slice_weights, speculative_decode)
+from repro.federated import (
+    MODES,
+    PROFILE_TIERS,
+    FLClient,
+    FLServer,
+    NGramLM,
+    PrecisionSelector,
+    autoregressive_decode,
+    candidate_configs,
+    make_client_model,
+    make_fleet,
+    merge_subnetwork,
+    select_hidden_width,
+    slice_weights,
+    speculative_decode,
+)
 from repro.nn import PrecisionConfig
 from repro.sim import make_synthetic_cifar, shard_iid
 

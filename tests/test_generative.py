@@ -3,14 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.generative import (EDGE_GPU_PJ_PER_FLOP, RMAE, RMAEConfig,
-                              compare_energy, energy_ratio, pretrain_also,
-                              pretrain_occmae, pretrain_rmae,
-                              reconstruction_energy_mj, reconstruction_iou)
-from repro.hardware import LidarPowerModel
+from repro.generative import (
+    RMAE,
+    compare_energy,
+    energy_ratio,
+    pretrain_also,
+    pretrain_occmae,
+    pretrain_rmae,
+    reconstruction_energy_mj,
+    reconstruction_iou,
+)
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig, radial_mask,
-                         voxelize)
+from repro.voxel import RadialMaskConfig, VoxelGridConfig, radial_mask, voxelize
 
 GRID = VoxelGridConfig(nx=16, ny=16, nz=2)
 LIDAR = LidarConfig(n_azimuth=48, n_elevation=8)

@@ -3,10 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.hardware import (EnergyLedger, HardwareProfile, LidarPowerModel,
-                            diffraction_limited_resolution, mac_area_um2,
-                            mac_energy_pj, mac_latency_ns, memory_energy_pj,
-                            model_inference_energy_mj)
+from repro.hardware import (
+    EnergyLedger,
+    HardwareProfile,
+    LidarPowerModel,
+    diffraction_limited_resolution,
+    mac_area_um2,
+    mac_energy_pj,
+    mac_latency_ns,
+    memory_energy_pj,
+    model_inference_energy_mj,
+)
 
 
 # ----------------------------------------------------------------- energy

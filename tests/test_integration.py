@@ -6,26 +6,48 @@ sensing, plus the federated and neuromorphic pipelines.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import (Action, Actuator, Environment, Percept, Perception,
-                        Policy, Sensor, SensorReading, SensingToActionLoop)
+from repro.core import (
+    Action,
+    Actuator,
+    Environment,
+    Percept,
+    Perception,
+    Policy,
+    SensingToActionLoop,
+    Sensor,
+    SensorReading,
+)
 from repro.detect import BEVDetector, build_target_maps, finetune_detector
-from repro.federated import (FLClient, FLServer, NGramLM, make_fleet,
-                             speculative_decode)
+from repro.federated import FLClient, FLServer, NGramLM, make_fleet, speculative_decode
 from repro.generative import RMAE, pretrain_rmae, reconstruction_iou
-from repro.koopman import (RoboKoopAgent, build_model, collect_transitions,
-                           evaluate_controller, fit_dynamics_model,
-                           make_controller)
-from repro.neuromorphic import DOTIE, build_flow_model, evaluate_aee, train_flow_model
+from repro.koopman import (
+    RoboKoopAgent,
+    build_model,
+    collect_transitions,
+    evaluate_controller,
+    fit_dynamics_model,
+    make_controller,
+)
 from repro.multiagent import compare_swarm_strategies
-from repro.sim import (CartPole, LidarConfig, LidarScanner, make_flow_dataset,
-                       make_synthetic_cifar, sample_scene, shard_dirichlet,
-                       snow)
-from repro.starnet import (GatedFilter, LidarFeatureExtractor, STARNet,
-                           run_recovery_experiment)
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig,
-                         beam_mask_from_segments, radial_mask, voxelize)
+from repro.neuromorphic import DOTIE, build_flow_model, evaluate_aee, train_flow_model
+from repro.sim import (
+    LidarConfig,
+    LidarScanner,
+    make_flow_dataset,
+    make_synthetic_cifar,
+    sample_scene,
+    shard_dirichlet,
+    snow,
+)
+from repro.starnet import LidarFeatureExtractor, STARNet, run_recovery_experiment
+from repro.voxel import (
+    RadialMaskConfig,
+    VoxelGridConfig,
+    beam_mask_from_segments,
+    radial_mask,
+    voxelize,
+)
 
 
 GRID = VoxelGridConfig(nx=16, ny=16, nz=2)

@@ -4,18 +4,29 @@ contrastive encoder, SAC, and the Fig. 5 harness."""
 import numpy as np
 import pytest
 
-from repro.koopman import (ContrastiveKoopmanEncoder, DenseKoopmanDynamics,
-                           LQRController, MLPDynamics, MODEL_FAMILIES,
-                           RecurrentDynamics, ReplayBuffer, SACAgent,
-                           SpectralKoopmanDynamics, SpectralKoopmanOperator,
-                           TransformerDynamics, build_model,
-                           collect_transitions, evaluate_controller,
-                           finite_horizon_lqr, fit_dynamics_model,
-                           infinite_horizon_lqr, make_controller, mpc_action,
-                           riccati_recursion)
-from repro.sim import CartPole
-
 from gradcheck import numeric_gradient
+from repro.koopman import (
+    MODEL_FAMILIES,
+    ContrastiveKoopmanEncoder,
+    DenseKoopmanDynamics,
+    LQRController,
+    RecurrentDynamics,
+    ReplayBuffer,
+    SACAgent,
+    SpectralKoopmanDynamics,
+    SpectralKoopmanOperator,
+    TransformerDynamics,
+    build_model,
+    collect_transitions,
+    evaluate_controller,
+    finite_horizon_lqr,
+    fit_dynamics_model,
+    infinite_horizon_lqr,
+    make_controller,
+    mpc_action,
+    riccati_recursion,
+)
+from repro.sim import CartPole
 
 
 # ----------------------------------------------------------- spectral op
@@ -245,7 +256,9 @@ def test_dense_koopman_controller_balances():
 
 def test_evaluate_controller_disturbance_reduces_reward():
     """A weak controller must suffer under strong disturbances."""
-    weak = lambda s: 0.0
+    def weak(s):
+        return 0.0
+
     calm = evaluate_controller(weak, 0.0, n_episodes=5, steps=100, seed=18)
     stormy = evaluate_controller(weak, 0.8, n_episodes=5, steps=100,
                                  seed=18, a_min=10, a_max=20)

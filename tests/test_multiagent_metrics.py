@@ -3,12 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.metrics import (average_endpoint_error, flow_outlier_fraction,
-                           roc_auc, roc_curve)
-from repro.multiagent import (compare_swarm_strategies, coverage_redundancy,
-                              minimal_radius, plan_coordinated_step,
-                              rectangular_partition, run_coordinated,
-                              run_uncoordinated, voronoi_partition)
+from repro.metrics import average_endpoint_error, flow_outlier_fraction, roc_auc, roc_curve
+from repro.multiagent import (
+    compare_swarm_strategies,
+    coverage_redundancy,
+    minimal_radius,
+    plan_coordinated_step,
+    rectangular_partition,
+    run_coordinated,
+    voronoi_partition,
+)
 from repro.sim import GridWorldConfig
 
 

@@ -5,14 +5,25 @@ import numpy as np
 import pytest
 
 from repro.metrics import average_endpoint_error
-from repro.neuromorphic import (DOTIE, E_AC_PJ, E_MAC_PJ, AdaptiveSpikeNet,
-                                EvFlowNet, FLOW_MODEL_FAMILIES,
-                                FusionFlowNet, LIFParameters, RateCodedSNN,
-                                SpikeFlowNet, SpikingConv2d, ann_energy_pj,
-                                build_flow_model, convert_ann_to_snn,
-                                energy_ratio_ann_over_snn, evaluate_aee,
-                                lif_step, snn_energy_pj, spike_rate,
-                                surrogate_gradient, train_flow_model)
+from repro.neuromorphic import (
+    DOTIE,
+    E_AC_PJ,
+    E_MAC_PJ,
+    FLOW_MODEL_FAMILIES,
+    LIFParameters,
+    RateCodedSNN,
+    SpikingConv2d,
+    ann_energy_pj,
+    build_flow_model,
+    convert_ann_to_snn,
+    energy_ratio_ann_over_snn,
+    evaluate_aee,
+    lif_step,
+    snn_energy_pj,
+    spike_rate,
+    surrogate_gradient,
+    train_flow_model,
+)
 from repro.nn import Adam, cross_entropy_with_logits, mlp, softmax
 from repro.sim import make_flow_dataset
 
@@ -291,7 +302,7 @@ def test_converted_snn_sparsity_measurable():
 
 
 def test_conversion_validation():
-    from repro.nn import Sequential, ReLU
+    from repro.nn import ReLU, Sequential
     with pytest.raises(ValueError):
         convert_ann_to_snn(Sequential(ReLU()), np.zeros((4, 3)))
     with pytest.raises(ValueError):

@@ -3,12 +3,27 @@
 import numpy as np
 import pytest
 
-from repro.nn import (AvgPool2d, BatchNorm, Conv2d, ConvTranspose2d, Dense,
-                      Dropout, Flatten, GRUCell, Identity, LayerNorm,
-                      LeakyReLU, MaxPool2d, ReLU, Sequential, Sigmoid,
-                      Softplus, Tanh, mlp)
-
 from gradcheck import check_layer_gradients
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    ConvTranspose2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GRUCell,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    mlp,
+)
 
 RNG = np.random.default_rng(7)
 

@@ -3,10 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.nn import (bce_with_logits, cross_entropy_with_logits,
-                      gaussian_kl, huber_loss, info_nce, mse_loss, softmax)
-
 from gradcheck import numeric_gradient
+from repro.nn import (
+    bce_with_logits,
+    cross_entropy_with_logits,
+    gaussian_kl,
+    huber_loss,
+    info_nce,
+    mse_loss,
+    softmax,
+)
 
 RNG = np.random.default_rng(11)
 

@@ -3,13 +3,33 @@
 import numpy as np
 import pytest
 
-from repro.nn import (VAE, Conv2d, Dense, Flatten, GRUCell, Parameter, ReLU,
-                      Sequential, SparseConv3d, SparseGlobalPool, SparseReLU,
-                      SparseSequential, SparseVoxelTensor, count_conv2d,
-                      count_dense, count_macs, count_module, glorot_uniform,
-                      he_normal, mlp, orthogonal_init,
-                      quantization_noise_power, quantize, train_vae,
-                      PrecisionConfig)
+from repro.nn import (
+    VAE,
+    Conv2d,
+    Dense,
+    Flatten,
+    GRUCell,
+    Parameter,
+    PrecisionConfig,
+    ReLU,
+    Sequential,
+    SparseConv3d,
+    SparseGlobalPool,
+    SparseReLU,
+    SparseSequential,
+    SparseVoxelTensor,
+    count_conv2d,
+    count_dense,
+    count_macs,
+    count_module,
+    glorot_uniform,
+    he_normal,
+    mlp,
+    orthogonal_init,
+    quantization_noise_power,
+    quantize,
+    train_vae,
+)
 
 RNG = np.random.default_rng(17)
 

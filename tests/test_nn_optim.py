@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import (SGD, SPSA, Adam, Dense, LoRAAdapter, Parameter,
-                      clip_grad_norm, mlp, mse_loss)
+from repro.nn import SGD, SPSA, Adam, Dense, LoRAAdapter, Parameter, clip_grad_norm, mlp, mse_loss
 
 RNG = np.random.default_rng(13)
 

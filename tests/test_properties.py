@@ -11,8 +11,7 @@ from repro.federated import NGramLM, merge_subnetwork, slice_weights
 from repro.hardware import EnergyLedger, LidarPowerModel
 from repro.metrics import roc_auc
 from repro.multiagent import minimal_radius, rectangular_partition
-from repro.nn import (quantize, quantization_noise_power, softmax,
-                      bce_with_logits, gaussian_kl)
+from repro.nn import bce_with_logits, gaussian_kl, quantization_noise_power, quantize, softmax
 from repro.nn.losses import info_nce
 from repro.voxel import RadialMaskConfig, VoxelGridConfig
 

@@ -5,10 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.koopman import ConformalPredictor, RecursiveKoopman, \
-    uncertainty_to_coverage
-from repro.starnet import ContextAwareThreshold, DriftDetector, \
-    ReliabilityWeightedFusion
+from repro.koopman import ConformalPredictor, RecursiveKoopman, uncertainty_to_coverage
+from repro.starnet import ContextAwareThreshold, DriftDetector, ReliabilityWeightedFusion
 
 
 @given(st.integers(5, 60), st.floats(min_value=0.01, max_value=0.4),
@@ -18,7 +16,9 @@ def test_conformal_radius_is_a_calibration_score(n, alpha, seed):
     """The radius always equals one of the calibration scores and covers
     at least the requested fraction of them."""
     rng = np.random.default_rng(seed)
-    predict = lambda z, u: np.atleast_2d(z)
+    def predict(z, u):
+        return np.atleast_2d(z)
+
     cp = ConformalPredictor(predict)
     z = rng.normal(size=(n, 2))
     u = rng.normal(size=(n, 1))

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.sim import (CartPole, CartPoleParams, DisturbanceProcess,
-                       EventCameraConfig, EventCameraSimulator,
-                       make_flow_dataset, render_observation)
+from repro.sim import (
+    CartPole,
+    DisturbanceProcess,
+    EventCameraConfig,
+    EventCameraSimulator,
+    make_flow_dataset,
+    render_observation,
+)
 
 
 # ---------------------------------------------------------------- cartpole

@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.sim import (CORRUPTIONS, LidarConfig, LidarScanner,
-                       apply_corruption, corruption_names, sample_scene)
+from repro.sim import (
+    CORRUPTIONS,
+    LidarConfig,
+    LidarScanner,
+    apply_corruption,
+    corruption_names,
+    sample_scene,
+)
 
 
 def _clean_scan(seed=0):

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.sim import (ClassificationDataset, CoverageGridWorld,
-                       GridWorldConfig, make_synthetic_cifar,
-                       shard_dirichlet, shard_iid)
+from repro.sim import (
+    ClassificationDataset,
+    CoverageGridWorld,
+    GridWorldConfig,
+    make_synthetic_cifar,
+    shard_dirichlet,
+    shard_iid,
+)
 
 
 # ----------------------------------------------------------------- dataset

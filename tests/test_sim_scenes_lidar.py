@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.sim import (CLASS_NAMES, LidarConfig, LidarScanner, Scene,
-                       SceneObject, sample_dataset, sample_scene)
+from repro.sim import (
+    CLASS_NAMES,
+    LidarConfig,
+    LidarScanner,
+    Scene,
+    SceneObject,
+    sample_dataset,
+    sample_scene,
+)
 
 
 RNG = np.random.default_rng(21)

@@ -4,17 +4,25 @@ import numpy as np
 import pytest
 
 from repro.core import Percept
-from repro.nn import VAE, train_vae
-from repro.starnet import (AUCExperimentConfig, GatedFilter,
-                           LidarFeatureExtractor, LoRAFineTuner, STARNet,
-                           camera_features, filter_backscatter,
-                           generate_scans, likelihood_regret_exact,
-                           likelihood_regret_spsa, per_sample_elbo,
-                           reconstruction_error_score, run_auc_experiment,
-                           scan_statistics)
 from repro.generative import RMAE
-from repro.sim import (LidarConfig, LidarScanner, apply_corruption,
-                       sample_scene, snow)
+from repro.nn import VAE, train_vae
+from repro.sim import LidarConfig, LidarScanner, apply_corruption, sample_scene, snow
+from repro.starnet import (
+    AUCExperimentConfig,
+    GatedFilter,
+    LidarFeatureExtractor,
+    LoRAFineTuner,
+    STARNet,
+    camera_features,
+    filter_backscatter,
+    generate_scans,
+    likelihood_regret_exact,
+    likelihood_regret_spsa,
+    per_sample_elbo,
+    reconstruction_error_score,
+    run_auc_experiment,
+    scan_statistics,
+)
 from repro.voxel import VoxelGridConfig
 
 

@@ -4,9 +4,16 @@ import numpy as np
 import pytest
 
 from repro.sim import LidarConfig, LidarScanner, sample_scene
-from repro.voxel import (RadialMaskConfig, VoxelGridConfig, angular_only_mask,
-                         beam_mask_from_segments, radial_mask,
-                         segment_of_azimuth, uniform_mask, voxelize)
+from repro.voxel import (
+    RadialMaskConfig,
+    VoxelGridConfig,
+    angular_only_mask,
+    beam_mask_from_segments,
+    radial_mask,
+    segment_of_azimuth,
+    uniform_mask,
+    voxelize,
+)
 
 
 GRID = VoxelGridConfig(nx=16, ny=16, nz=2)
