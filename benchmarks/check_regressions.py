@@ -12,7 +12,14 @@ Three fast benches cover three pillars:
 * ``starnet_auc``          — every corruption family stays detectable;
 * ``fig5a_model_macs``     — the analytic MAC ordering is bit-exact.
 
-Exit status: 0 = no regression, 1 = regression, 2 = harness error.
+Checks come in two severities.  **Blocking** checks guard shape-level
+claims (who wins, orderings, detectability floors) and fail the gate.
+**Warning** checks guard numeric drift against the stored baseline
+(ratios, AUC deltas); they are reported but do not fail CI, because
+absolute numbers legitimately move when numpy or seeds change.
+
+Exit status: 0 = no blocking regression (warnings allowed),
+1 = blocking regression, 2 = harness error.
 Run from anywhere: ``python benchmarks/check_regressions.py``.
 """
 
@@ -33,16 +40,20 @@ RATIO_TOL = 0.35
 AUC_TOL = 0.08
 
 failures = []
+warnings = []
 checked = 0
 
 
-def check(name: str, ok: bool, detail: str) -> None:
+def check(name: str, ok: bool, detail: str, blocking: bool = True) -> None:
     global checked
     checked += 1
-    status = "ok  " if ok else "FAIL"
+    if ok:
+        status = "ok  "
+    else:
+        status = "FAIL" if blocking else "warn"
     print(f"  [{status}] {name}: {detail}")
     if not ok:
-        failures.append(f"{name}: {detail}")
+        (failures if blocking else warnings).append(f"{name}: {detail}")
 
 
 def load_baseline(name: str) -> dict:
@@ -59,7 +70,8 @@ def check_fig1() -> None:
     now = run_fig1()
 
     # Shape claim 1: the adaptive loop still wins on energy, and by a
-    # factor comparable to the baseline's.
+    # factor comparable to the baseline's (the factor itself is numeric
+    # drift, warning-only).
     ratio_now = now["static"]["energy_mj"] / now["adaptive"]["energy_mj"]
     ratio_base = (base["static"]["energy_mj"]
                   / base["adaptive"]["energy_mj"])
@@ -70,7 +82,8 @@ def check_fig1() -> None:
     check("energy-ratio-stable",
           abs(ratio_now - ratio_base) <= RATIO_TOL * ratio_base,
           f"ratio {ratio_now:.2f}x vs baseline {ratio_base:.2f}x "
-          f"(tol {RATIO_TOL:.0%})")
+          f"(tol {RATIO_TOL:.0%})",
+          blocking=False)
 
     # Shape claim 2: recall stays near the static loop's.
     check("recall-held",
@@ -98,11 +111,15 @@ def check_starnet_auc() -> None:
     for family in sorted(base):
         if family not in now:
             continue
-        check(f"auc-{family}",
-              now[family] >= 0.85
-              and abs(now[family] - base[family]) <= AUC_TOL,
+        # Detectability floor is a shape claim; drift against the stored
+        # baseline value is numeric and warning-only.
+        check(f"auc-floor-{family}", now[family] >= 0.85,
+              f"{now[family]:.4f} (floor 0.85)")
+        check(f"auc-drift-{family}",
+              abs(now[family] - base[family]) <= AUC_TOL,
               f"{now[family]:.4f} vs baseline {base[family]:.4f} "
-              f"(floor 0.85, tol {AUC_TOL})")
+              f"(tol {AUC_TOL})",
+              blocking=False)
 
 
 def check_fig5a() -> None:
@@ -135,10 +152,13 @@ def main() -> int:
         except Exception as exc:  # harness failure, not a regression
             print(f"ERROR running {fn.__name__}: {exc!r}")
             return 2
-    print(f"\n{checked} shape checks, {len(failures)} regressions")
+    print(f"\n{checked} checks, {len(failures)} blocking regressions, "
+          f"{len(warnings)} warnings")
+    for w in warnings:
+        print(f"  warning (non-blocking): {w}")
     if failures:
         for f in failures:
-            print(f"  regression: {f}")
+            print(f"  regression (blocking): {f}")
         return 1
     return 0
 

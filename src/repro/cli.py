@@ -12,6 +12,13 @@ writing any code:
   and emit the span tree + metrics (JSON via ``--out``, JSONL via
   ``--jsonl``, text summary to stdout); ``profile demo`` runs the
   built-in five-stage loop scenario;
+* ``bench``             — run benchmark entry points (default: the fast
+  shape-level subset) under a :class:`repro.runtime.WorkerPool`;
+  ``--workers N`` fans them out over processes with results
+  bit-identical to serial, ``--out`` keeps the aggregated JSON;
+* ``cache``             — inspect (``info``) or empty (``clear``) the
+  content-addressed artifact cache that memoizes generated datasets and
+  pretrained R-MAE/VAE/Koopman weights;
 * ``list``              — enumerate available demos and experiments.
 
 Every failure path (unknown demo/experiment/profile target, a demo
@@ -252,6 +259,61 @@ def _run_profile(target: str, out: str, jsonl: str, cycles: int) -> int:
     return 0
 
 
+def _run_bench(names, workers, out: str) -> int:
+    from repro import obs
+    from repro.runtime import run_suite
+
+    registry = obs.MetricsRegistry()
+    try:
+        with obs.use_registry(registry):
+            payload = run_suite(names or None, workers=workers)
+    except KeyError as exc:
+        print(str(exc.args[0]) if exc.args else repr(exc), file=sys.stderr)
+        return 2
+    payload["meta"]["obs"] = registry.snapshot()["counters"]
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(payload, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write bench artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote aggregated results to {out}", file=sys.stderr)
+    meta = payload["meta"]
+    print(json.dumps(payload["results"], indent=2, default=str))
+    print(f"\n{len(payload['results'])} benches in {meta['wall_s']:.1f}s "
+          f"with {meta['workers']} worker(s):", file=sys.stderr)
+    for name, wall in sorted(meta["bench_wall_s"].items(),
+                             key=lambda kv: -kv[1]):
+        print(f"  {name:28s} {wall:7.2f}s", file=sys.stderr)
+    return 0
+
+
+def _run_cache(action: str, as_json: bool) -> int:
+    from repro.runtime import cache_enabled, get_cache
+
+    cache = get_cache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
+        return 0
+    info = cache.info()
+    info["enabled"] = cache_enabled()
+    if as_json:
+        json.dump(info, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"artifact cache at {info['root']} "
+          f"({'enabled' if info['enabled'] else 'DISABLED via REPRO_CACHE'})")
+    print(f"  {info['entries']} entries, {info['total_bytes'] / 1e6:.2f} MB")
+    for kind, count in sorted(info["by_kind"].items()):
+        print(f"  {kind:20s} {count} artifact(s)")
+    if not info["entries"]:
+        print("  (empty — caches fill as examples/benchmarks pretrain "
+              "models)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -276,15 +338,39 @@ def main(argv=None) -> int:
                       help="write one-record-per-line JSONL export here")
     prof.add_argument("--cycles", type=int, default=120,
                       help="loop cycles for the built-in 'demo' target")
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmark entry points (optionally in parallel) and "
+             "aggregate their JSON results")
+    bench.add_argument("names", nargs="*",
+                       help="bench names (default: the fast subset; see "
+                            "'repro bench --help-names')")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="process count (default: $REPRO_WORKERS or 1); "
+                            "results are bit-identical for any value")
+    bench.add_argument("--out", default="",
+                       help="write aggregated results JSON here")
+    bench.add_argument("--help-names", action="store_true",
+                       help="list registered bench names and exit")
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk artifact cache "
+             "($REPRO_CACHE_DIR, default ~/.cache/repro)")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable info")
 
     args = parser.parse_args(argv)
     if args.command == "list":
+        from repro.runtime import BENCHES
         print("demos:       ", ", ".join(DEMOS))
         print("experiments: ", ", ".join(sorted(EXPERIMENTS)))
+        print("benches:     ", ", ".join(sorted(BENCHES)))
         print("profile:      demo (built-in loop), any demo name, or any "
               "experiment id")
         print("(the full table/figure suite lives in benchmarks/: "
-              "pytest benchmarks/ --benchmark-only -s)")
+              "pytest benchmarks/ --benchmark-only -s; 'repro bench "
+              "--workers N' runs the fast subset in parallel)")
         return 0
     if args.command == "demo":
         return _run_demo(args.name)
@@ -299,6 +385,16 @@ def main(argv=None) -> int:
         return 0
     if args.command == "profile":
         return _run_profile(args.target, args.out, args.jsonl, args.cycles)
+    if args.command == "bench":
+        if args.help_names:
+            from repro.runtime import BENCHES, DEFAULT_BENCHES
+            for name in sorted(BENCHES):
+                tag = "  [default]" if name in DEFAULT_BENCHES else ""
+                print(f"{name}{tag}")
+            return 0
+        return _run_bench(args.names, args.workers, args.out)
+    if args.command == "cache":
+        return _run_cache(args.action, args.json)
     parser.print_help()
     return 1
 

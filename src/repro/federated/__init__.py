@@ -1,6 +1,12 @@
 """``repro.federated`` — multi-agent federated sensing-action loops (Sec. VII)."""
 
-from .client import ClientReport, FLClient, make_client_model, model_macs_per_sample
+from .client import (
+    ClientReport,
+    FLClient,
+    make_client_model,
+    model_macs_per_sample,
+    train_client_task,
+)
 from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
 from .halo import PrecisionSelector, candidate_configs
 from .heterogeneity import PROFILE_TIERS, make_fleet
@@ -10,6 +16,7 @@ from .speculative import NGramLM, SpeculativeStats, autoregressive_decode, specu
 __all__ = [
     "PROFILE_TIERS", "make_fleet",
     "FLClient", "ClientReport", "make_client_model", "model_macs_per_sample",
+    "train_client_task",
     "select_hidden_width", "slice_weights", "merge_subnetwork",
     "PrecisionSelector", "candidate_configs",
     "FLServer", "RoundSummary", "MODES",

@@ -24,7 +24,7 @@ from ..obs.registry import get_registry
 from ..sim.datasets import ClassificationDataset
 
 __all__ = ["ClientReport", "FLClient", "make_client_model",
-           "model_macs_per_sample"]
+           "model_macs_per_sample", "train_client_task"]
 
 
 def make_client_model(input_dim: int, hidden: int, n_classes: int,
@@ -57,11 +57,21 @@ class FLClient:
 
     def __init__(self, client_id: int, data: ClassificationDataset,
                  profile: HardwareProfile,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 emulated_round_s: float = 0.0):
+        if emulated_round_s < 0:
+            raise ValueError("emulated_round_s must be non-negative")
         self.client_id = client_id
         self.data = data
         self.profile = profile
         self.rng = rng if rng is not None else np.random.default_rng(client_id)
+        # Deployment-mode emulation: when nonzero, local_train blocks
+        # until this much wall clock has elapsed, standing in for the
+        # physical device's compute + uplink time.  The server-side
+        # round then has a real critical path (max over clients when
+        # dispatched in parallel, sum when serial) without affecting any
+        # numerical result.
+        self.emulated_round_s = float(emulated_round_s)
 
     def local_train(self, weights: List[np.ndarray], hidden_used: int,
                     precision: PrecisionConfig, epochs: int = 1,
@@ -124,9 +134,28 @@ class FLClient:
         )
         new_weights = [params[0].data.copy(), params[1].data.copy(),
                        params[2].data.copy(), params[3].data.copy()]
+        if self.emulated_round_s > 0.0:
+            remaining = self.emulated_round_s - (time.perf_counter() - wall0)
+            if remaining > 0:
+                time.sleep(remaining)
         obs = get_registry()
         obs.counter("federated.client_macs").inc(float(total_macs))
         obs.counter("federated.client_energy_mj").inc(energy_mj)
         obs.histogram("federated.client_train_s").observe(
             time.perf_counter() - wall0)
         return new_weights, report
+
+
+def train_client_task(item: tuple) -> tuple:
+    """One client's round as a pure pool task (picklable, module-level).
+
+    ``item`` is ``(client, weights, hidden_used, precision, epochs,
+    lr)``.  Returns the updated weight slice, the resource report, and
+    the client RNG's post-training state: in a worker process the client
+    is a pickled copy, so the parent must re-apply the RNG advancement
+    to keep later rounds bit-identical to serial execution.
+    """
+    client, weights, hidden_used, precision, epochs, lr = item
+    updated, report = client.local_train(weights, hidden_used, precision,
+                                         epochs=epochs, lr=lr)
+    return updated, report, client.rng.bit_generator.state

@@ -24,8 +24,9 @@ import numpy as np
 from ..nn.losses import softmax
 from ..nn.quantize import PrecisionConfig
 from ..obs.registry import get_registry
+from ..runtime.seeding import assert_private_rngs
 from ..sim.datasets import ClassificationDataset
-from .client import FLClient, make_client_model, model_macs_per_sample
+from .client import FLClient, make_client_model, model_macs_per_sample, train_client_task
 from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
 from .halo import PrecisionSelector
 
@@ -117,18 +118,25 @@ class FLServer:
         n_params = sum(w.size for w in weights)
         return n_params * weight_bits / 8.0
 
-    def run_round(self) -> RoundSummary:
-        """One full round: plan -> broadcast -> local train -> aggregate."""
+    def run_round(self, pool=None) -> RoundSummary:
+        """One full round: plan -> broadcast -> local train -> aggregate.
+
+        ``pool`` (a :class:`repro.runtime.WorkerPool`) fans client
+        training out over processes.  Client tasks are independent and
+        fully seeded, updates are merged in client order, and each
+        client's RNG advancement is re-applied in the parent, so any
+        worker count yields weights bit-identical to the serial round —
+        only the wall clock changes (max over clients instead of sum).
+        """
         obs = get_registry()
         wall0 = time.perf_counter()
-        client_updates: List[List[np.ndarray]] = []
         client_hidden: List[int] = []
-        client_samples: List[int] = []
-        reports = []
         comm_bytes = 0.0
+        items = []
         with obs.trace_span("federated.round",
                             attrs={"mode": self.mode,
-                                   "round": len(self.history)}):
+                                   "round": len(self.history),
+                                   "workers": getattr(pool, "workers", 1)}):
             for client in self.clients:
                 hidden_used, precision = self._client_plan(client)
                 weights = slice_weights(self.global_weights, hidden_used)
@@ -136,13 +144,27 @@ class FLServer:
                 # client's weight precision.
                 comm_bytes += 2 * self._payload_bytes(
                     weights, precision.weight_bits)
-                updated, report = client.local_train(
-                    weights, hidden_used, precision,
-                    epochs=self.local_epochs, lr=self.lr)
-                client_updates.append(updated)
                 client_hidden.append(hidden_used)
-                client_samples.append(report.n_samples)
-                reports.append(report)
+                items.append((client, weights, hidden_used, precision,
+                              self.local_epochs, self.lr))
+
+            if pool is not None and pool.workers > 1:
+                # A Generator shared between clients is fine serially
+                # (draws interleave through the one state) but breaks
+                # determinism across a process boundary — refuse early.
+                assert_private_rngs(
+                    (c.rng for c in self.clients),
+                    owners=[f"client {c.client_id}" for c in self.clients])
+                outs = pool.map(train_client_task, items,
+                                label="federated.client_train")
+                for client, (_, _, rng_state) in zip(self.clients, outs):
+                    client.rng.bit_generator.state = rng_state
+            else:
+                outs = [train_client_task(item) for item in items]
+
+            client_updates = [updated for updated, _, _ in outs]
+            reports = [report for _, report, _ in outs]
+            client_samples = [report.n_samples for report in reports]
 
             self.global_weights = merge_subnetwork(
                 self.global_weights, client_updates, client_hidden,
@@ -169,9 +191,9 @@ class FLServer:
         self.history.append(summary)
         return summary
 
-    def run(self, n_rounds: int) -> List[RoundSummary]:
+    def run(self, n_rounds: int, pool=None) -> List[RoundSummary]:
         for _ in range(n_rounds):
-            self.run_round()
+            self.run_round(pool=pool)
         return self.history
 
     # ------------------------------------------------------------ reporting

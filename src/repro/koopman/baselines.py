@@ -508,21 +508,37 @@ def fit_dynamics_model(model: DynamicsModel, transitions: Tuple[np.ndarray,
                                                                 np.ndarray,
                                                                 np.ndarray],
                        epochs: int = 20, batch_size: int = 64,
-                       rng: Optional[np.random.Generator] = None
-                       ) -> List[float]:
-    """Fit any family on (Z, U, Z_next) arrays; returns per-epoch losses."""
+                       rng: Optional[np.random.Generator] = None,
+                       cache=None) -> List[float]:
+    """Fit any family on (Z, U, Z_next) arrays; returns per-epoch losses.
+
+    Deterministic given (model state, transitions, hyper-parameters,
+    RNG state) and therefore memoized through the artifact cache; pass
+    ``cache=False`` to force recomputation (``REPRO_CACHE=0`` disables
+    globally).
+    """
+    from ..runtime.cache import cached_fit
+
     rng = rng if rng is not None else np.random.default_rng(0)
     z, u, z_next = transitions
-    n = z.shape[0]
-    losses = []
-    for _ in range(epochs):
-        order = rng.permutation(n)
-        total, count = 0.0, 0
-        for start in range(0, n, batch_size):
-            idx = order[start:start + batch_size]
-            total += model.train_batch(z[idx], u[idx], z_next[idx])
-            count += 1
-        losses.append(total / max(count, 1))
-        if isinstance(model, DenseKoopmanDynamics):
-            break  # closed-form fit converges in one pass
-    return losses
+
+    def train() -> List[float]:
+        n = z.shape[0]
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            total, count = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                total += model.train_batch(z[idx], u[idx], z_next[idx])
+                count += 1
+            losses.append(total / max(count, 1))
+            if isinstance(model, DenseKoopmanDynamics):
+                break  # closed-form fit converges in one pass
+        return losses
+
+    return cached_fit(
+        "koopman_fit",
+        {"family": model.name, "z": z, "u": u, "z_next": z_next,
+         "epochs": epochs, "batch_size": batch_size},
+        model, rng, train, cache=cache)

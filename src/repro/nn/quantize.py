@@ -42,6 +42,8 @@ def quantize(x: np.ndarray, bits: int, symmetric: bool = True) -> np.ndarray:
         return x.copy()
     levels = 2 ** (bits - 1) - 1 if symmetric else 2 ** bits - 1
     scale = max_abs / levels
+    if scale == 0.0:  # max_abs subnormal: grid underflows, keep exact
+        return x.copy()
     q = np.round(x / scale)
     q = np.clip(q, -levels, levels) if symmetric else np.clip(q, 0, levels)
     return q * scale

@@ -103,21 +103,38 @@ class VAE(Module):
 
 def train_vae(vae: VAE, data: np.ndarray, epochs: int = 30,
               batch_size: int = 32, lr: float = 1e-3, beta: float = 1.0,
-              rng: Optional[np.random.Generator] = None) -> list:
-    """Train a VAE on feature rows; returns per-epoch mean losses."""
+              rng: Optional[np.random.Generator] = None,
+              cache=None) -> list:
+    """Train a VAE on feature rows; returns per-epoch mean losses.
+
+    Deterministic given (architecture, data, hyper-parameters, RNG
+    state) and therefore memoized through the artifact cache; pass
+    ``cache=False`` to force recomputation (``REPRO_CACHE=0`` disables
+    globally).
+    """
+    from ..runtime.cache import cached_fit
+
     rng = rng if rng is not None else np.random.default_rng(0)
-    opt = Adam(vae.parameters(), lr=lr)
-    n = data.shape[0]
-    losses = []
-    for _ in range(epochs):
-        order = rng.permutation(n)
-        epoch_loss, batches = 0.0, 0
-        for start in range(0, n, batch_size):
-            batch = data[order[start:start + batch_size]]
-            opt.zero_grad()
-            loss = vae.loss_and_grads(batch, beta=beta)
-            opt.step()
-            epoch_loss += loss
-            batches += 1
-        losses.append(epoch_loss / max(batches, 1))
-    return losses
+
+    def train() -> list:
+        opt = Adam(vae.parameters(), lr=lr)
+        n = data.shape[0]
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                batch = data[order[start:start + batch_size]]
+                opt.zero_grad()
+                loss = vae.loss_and_grads(batch, beta=beta)
+                opt.step()
+                epoch_loss += loss
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        return losses
+
+    return cached_fit(
+        "vae_train",
+        {"data": data, "epochs": epochs, "batch_size": batch_size,
+         "lr": lr, "beta": beta},
+        vae, rng, train, cache=cache)

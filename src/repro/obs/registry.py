@@ -144,6 +144,15 @@ class Histogram:
                   ) -> Dict[str, float]:
         return {f"p{q * 100:g}": self.quantile(q) for q in qs}
 
+    def raw(self) -> List[float]:
+        """The retained sample, in observation order.
+
+        Exact for streams no longer than the reservoir; beyond that it is
+        the uniformly retained subset (used to replay worker histograms
+        into a parent registry).
+        """
+        return list(self._reservoir)
+
     def cdf(self, v: float) -> float:
         """Empirical P(X <= v) over the retained sample."""
         data = self._ensure_sorted()
@@ -309,6 +318,36 @@ class MetricsRegistry:
             "histograms": {n: h.as_dict()
                            for n, h in sorted(self._histograms.items())},
         }
+
+    # ------------------------------------------------- worker aggregation
+    def worker_snapshot(self) -> dict:
+        """Mergeable delta of this registry (for pool workers).
+
+        Counters/gauges ship their values; histograms ship their retained
+        raw samples so the parent can replay observations (exact up to
+        the reservoir size).
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.raw() for n, h in self._histograms.items()},
+        }
+
+    def merge_worker_snapshot(self, delta: dict) -> None:
+        """Fold a worker's :meth:`worker_snapshot` into this registry.
+
+        Deterministic when applied in task submission order: counters
+        add, gauges take the delta's value (last submission wins, as in
+        a serial run), histogram samples are replayed.
+        """
+        for name, value in sorted(delta.get("counters", {}).items()):
+            self.counter(name).inc(value)
+        for name, value in sorted(delta.get("gauges", {}).items()):
+            self.gauge(name).set(value)
+        for name, values in sorted(delta.get("histograms", {}).items()):
+            h = self.histogram(name)
+            for v in values:
+                h.observe(v)
 
 
 # -------------------------------------------------------- active registry

@@ -1,0 +1,124 @@
+"""Parallel benchmark driver: run the suite's ``run_*`` entry points
+concurrently and aggregate their JSON results.
+
+Every benchmark under ``benchmarks/`` exposes a pure ``run_<name>()``
+function (the pytest-benchmark wrapper calls it once and asserts shape
+claims).  Those entry points are independent, fully seeded, and return
+plain dicts — exactly the task contract of
+:class:`~repro.runtime.pool.WorkerPool` — so ``repro bench --workers N``
+fans them out over processes and merges results in registry order.
+Results are **bit-identical for any worker count** because each bench
+seeds itself explicitly; only the wall-clock metadata varies.
+
+The default set covers the fast shape-level benches (the same tier the
+CI regression gate replays); heavier paper artifacts (Table I, Fig. 7,
+Fig. 9) are opt-in by name.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .pool import WorkerPool
+
+__all__ = ["BENCHES", "DEFAULT_BENCHES", "run_bench", "run_suite"]
+
+# name -> (module file under benchmarks/, run function). Every function
+# is pure and explicitly seeded; see assert in run_bench.
+BENCHES: Dict[str, Tuple[str, str]] = {
+    "fig1_loop_adaptation": ("bench_fig1_loop_adaptation", "run_fig1"),
+    "fig2_imc": ("bench_fig2_imc", "run_imc"),
+    "fig5a_model_macs": ("bench_fig5a_model_macs", "run_fig5a"),
+    "fig5b_disturbance": ("bench_fig5b_disturbance", "run_fig5b"),
+    "fig11_federated": ("bench_fig11_federated", "run_fig11"),
+    "table2_lidar_energy": ("bench_table2_lidar_energy", "run_table2"),
+    "starnet_auc": ("bench_starnet_auc", "run_auc"),
+    "codesign": ("bench_codesign", "run_codesign"),
+    "speculative_decoding": ("bench_speculative_decoding",
+                             "run_speculative"),
+    "multiagent_energy": ("bench_claim_multiagent_energy", "run_swarm"),
+    "sensing_fraction": ("bench_claim_sensing_fraction", "run_sweep"),
+    "lora_adaptation": ("bench_lora_adaptation", "run_lora"),
+    "ablation_halo_precision": ("bench_ablation_halo_precision",
+                                "run_ablation"),
+    "ablation_koopman_spectrum": ("bench_ablation_koopman_spectrum",
+                                  "run_ablation"),
+    "ablation_snn_dynamics": ("bench_ablation_snn_dynamics",
+                              "run_ablation"),
+    "ablation_starnet_scores": ("bench_ablation_starnet_scores",
+                                "run_ablation"),
+    "table1_detection_ap": ("bench_table1_detection_ap", "run_table1"),
+    "fig7_starnet_recovery": ("bench_fig7_starnet_recovery", "run_fig7"),
+    "fig9_optical_flow": ("bench_fig9_optical_flow", "run_fig9"),
+    "ablation_masking": ("bench_ablation_masking", "run_ablation"),
+}
+
+# The fast, CI-friendly subset (seconds each, minutes total serial).
+DEFAULT_BENCHES: Tuple[str, ...] = (
+    "fig1_loop_adaptation", "fig2_imc", "fig5a_model_macs", "codesign",
+    "speculative_decoding", "multiagent_energy", "fig11_federated",
+    "starnet_auc",
+)
+
+
+def benchmarks_dir() -> str:
+    """The repo's ``benchmarks/`` directory (sibling of ``src``)."""
+    src_parent = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(src_parent, "benchmarks")
+
+
+def run_bench(name: str) -> Tuple[str, dict, float]:
+    """Execute one registered bench; returns ``(name, result, wall_s)``.
+
+    Module-level and argument-pure so it can cross a process boundary.
+    """
+    if name not in BENCHES:
+        raise KeyError(f"unknown bench {name!r}; choose from "
+                       f"{', '.join(sorted(BENCHES))}")
+    module_name, func_name = BENCHES[name]
+    bench_dir = benchmarks_dir()
+    path = os.path.join(bench_dir, f"{module_name}.py")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"bench module not found: {path}")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)  # benches import bench_utils
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    fn = getattr(module, func_name)
+    t0 = time.perf_counter()
+    result = fn()
+    return name, result, time.perf_counter() - t0
+
+
+def run_suite(names: Optional[Iterable[str]] = None,
+              workers: Optional[int] = None) -> dict:
+    """Run benches (default: the fast subset) under a worker pool.
+
+    Returns ``{"results": {...}, "meta": {...}}`` where ``results`` is
+    deterministic (identical for any worker count) and ``meta`` carries
+    the timing facts of *this* run.
+    """
+    selected: List[str] = list(names) if names else list(DEFAULT_BENCHES)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise KeyError(f"unknown benches: {', '.join(unknown)}; choose "
+                       f"from {', '.join(sorted(BENCHES))}")
+    t0 = time.perf_counter()
+    with WorkerPool(workers) as pool:
+        outs = pool.map(run_bench, selected, label="bench")
+    wall_s = time.perf_counter() - t0
+    return {
+        "results": {name: result for name, result, _ in outs},
+        "meta": {
+            "workers": pool.workers,
+            "host_cpus": os.cpu_count(),
+            "wall_s": round(wall_s, 3),
+            "bench_wall_s": {name: round(w, 3) for name, _, w in outs},
+        },
+    }

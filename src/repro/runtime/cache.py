@@ -1,0 +1,302 @@
+"""Content-addressed on-disk artifact cache for expensive recomputation.
+
+Pretraining an R-MAE, fitting a VAE monitor, or fitting Koopman dynamics
+is deterministic given (hyper-parameters, training data, initial model
+state, RNG state) — yet every benchmark and example recomputes them from
+scratch.  :class:`ArtifactCache` memoizes those artifacts on disk:
+
+* **keys** are SHA-256 fingerprints over the *complete* input closure —
+  config, data content, initial parameters, and the RNG's bit-generator
+  state — so two invocations collide only when training would produce
+  bit-identical output anyway;
+* **writes** are atomic (temp file + ``os.replace``) so a crashed or
+  concurrent run can never leave a half-written entry;
+* **corrupt entries** (truncated files, unpicklable blobs, stale class
+  layouts) are treated as misses, deleted, and recomputed — the cache
+  can only ever cost a recompute, never wrongness;
+* on a **hit** the cached *post-training* RNG state is restored into the
+  caller's generator, so downstream draws are bit-identical whether the
+  artifact was computed or loaded.
+
+Environment knobs: ``REPRO_CACHE_DIR`` relocates the cache (default
+``~/.cache/repro``); ``REPRO_CACHE=0`` disables it entirely.  Hits and
+misses surface as ``runtime.cache_*`` counters on the active
+:mod:`repro.obs` registry and through ``repro cache info``.
+
+The cache keys capture inputs, not code: after editing a training loop,
+``repro cache clear`` (or bumping :data:`CACHE_VERSION`) invalidates old
+artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..obs.registry import get_registry
+
+__all__ = [
+    "ArtifactCache", "get_cache", "resolve_cache", "cache_enabled",
+    "cached_fit", "fingerprint", "CACHE_DIR_ENV", "CACHE_ENV",
+    "CACHE_VERSION",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_ENV = "REPRO_CACHE"
+# Bump to invalidate every existing entry (artifact layout changes).
+CACHE_VERSION = 1
+
+_FALSEY = {"0", "off", "false", "no"}
+
+
+# ------------------------------------------------------------ fingerprints
+def _update_hash(h, obj: Any, seen: set) -> None:
+    """Feed one object into the hash, canonically and recursively."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        h.update(f"|{type(obj).__name__}:{obj!r}".encode())
+    elif isinstance(obj, float):
+        h.update(f"|f:{obj.hex()}".encode())
+    elif isinstance(obj, np.ndarray):
+        h.update(f"|nd:{obj.dtype.str}:{obj.shape}".encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        _update_hash(h, obj.item(), seen)
+    elif isinstance(obj, np.random.Generator):
+        _update_hash(h, obj.bit_generator.state, seen)
+    elif isinstance(obj, dict):
+        h.update(b"|d{")
+        for key in sorted(obj, key=repr):
+            h.update(f"|k:{key!r}".encode())
+            _update_hash(h, obj[key], seen)
+        h.update(b"}")
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) \
+            else list(obj)
+        h.update(f"|seq{len(items)}[".encode())
+        for item in items:
+            _update_hash(h, item, seen)
+        h.update(b"]")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"|dc:{type(obj).__name__}".encode())
+        _update_hash(h, vars(obj), seen)
+    else:
+        # Arbitrary object (Module, Parameter, VoxelizedCloud, ...): hash
+        # its type name and attribute dict.  ``seen`` guards reference
+        # cycles; repeated references hash repeatedly, which is fine —
+        # traversal order is deterministic for identical structures.
+        if id(obj) in seen:
+            h.update(b"|cycle")
+            return
+        seen.add(id(obj))
+        h.update(f"|obj:{type(obj).__name__}".encode())
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            _update_hash(h, attrs, seen)
+        else:
+            slots = getattr(type(obj), "__slots__", ())
+            _update_hash(h, {s: getattr(obj, s, None) for s in slots}, seen)
+        seen.discard(id(obj))
+
+
+def fingerprint(*objs: Any) -> str:
+    """Deterministic SHA-256 content fingerprint of arbitrary inputs."""
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_VERSION}".encode())
+    for obj in objs:
+        _update_hash(h, obj, set())
+    return h.hexdigest()[:24]
+
+
+# ------------------------------------------------------------------ cache
+class ArtifactCache:
+    """Flat directory of ``<kind>-<fingerprint>.pkl`` artifact blobs."""
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, "").strip() or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro")
+        self.root = root
+
+    # ------------------------------------------------------------- keying
+    def key(self, kind: str, **parts: Any) -> str:
+        return fingerprint(kind, parts)
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, f"{kind}-{key}.pkl")
+
+    # -------------------------------------------------------------- store
+    def store(self, kind: str, key: str, payload: Any) -> str:
+        """Atomically persist one artifact; returns its path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(kind, key)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        obs = get_registry()
+        obs.counter("runtime.cache_writes").inc()
+        obs.counter("runtime.cache_bytes_written").inc(float(len(blob)))
+        return path
+
+    def load(self, kind: str, key: str) -> Optional[Any]:
+        """Fetch an artifact; ``None`` on miss.  Corrupt entries are
+        deleted and reported as misses (with a ``cache_corrupt`` count)."""
+        obs = get_registry()
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            obs.counter("runtime.cache_misses").inc()
+            return None
+        except Exception:
+            obs.counter("runtime.cache_corrupt").inc()
+            obs.counter("runtime.cache_misses").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        obs.counter("runtime.cache_hits").inc()
+        return payload
+
+    # ------------------------------------------------------------- admin
+    def entries(self) -> List[Dict[str, Any]]:
+        out = []
+        if not os.path.isdir(self.root):
+            return out
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".pkl"):
+                continue
+            kind = name.rsplit("-", 1)[0]
+            try:
+                size = os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue
+            out.append({"file": name, "kind": kind, "bytes": size})
+        return out
+
+    def info(self) -> Dict[str, Any]:
+        entries = self.entries()
+        by_kind: Dict[str, int] = {}
+        for e in entries:
+            by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "total_bytes": sum(e["bytes"] for e in entries),
+            "by_kind": by_kind,
+            "files": entries,
+        }
+
+    def clear(self) -> int:
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for name in os.listdir(self.root):
+            if name.endswith((".pkl", ".tmp")):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# -------------------------------------------------------- default policy
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENV, "1").strip().lower() not in _FALSEY
+
+
+def get_cache() -> ArtifactCache:
+    """A cache at the default (env-controlled) location."""
+    return ArtifactCache()
+
+
+def resolve_cache(cache: Union[None, bool, ArtifactCache]
+                  ) -> Optional[ArtifactCache]:
+    """Map a user-facing ``cache`` argument onto a cache instance.
+
+    ``None`` follows the environment default (on unless ``REPRO_CACHE``
+    is falsey); ``False`` disables; ``True`` forces the default cache;
+    an :class:`ArtifactCache` is used as-is.
+    """
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if cache is None:
+        return get_cache() if cache_enabled() else None
+    return get_cache() if cache else None
+
+
+# ------------------------------------------------------------- memoizers
+def cached_fit(kind: str, parts: Dict[str, Any], model: Any,
+               rng: Optional[np.random.Generator],
+               train: Callable[[], Any],
+               cache: Union[None, bool, ArtifactCache] = None) -> Any:
+    """Memoize a deterministic in-place model fit.
+
+    The key covers ``parts`` (hyper-parameters + data), the model's
+    *initial* state, and the RNG's pre-training state.  On a hit the
+    stored post-training model state replaces ``model``'s attributes and
+    the RNG is advanced to its stored post-training state, so callers
+    cannot observe the difference between computing and loading.
+    Returns whatever ``train()`` returned when the artifact was built
+    (typically per-epoch losses).
+    """
+    c = resolve_cache(cache)
+    if c is None:
+        return train()
+    key = c.key(kind, parts=parts, init=fingerprint(vars(model)),
+                rng=None if rng is None else rng.bit_generator.state)
+    entry = c.load(kind, key)
+    if entry is not None:
+        try:
+            state, aux, rng_state = (entry["state"], entry["aux"],
+                                     entry["rng_state"])
+        except (TypeError, KeyError):
+            pass  # stale layout: fall through and recompute
+        else:
+            model.__dict__.clear()
+            model.__dict__.update(state)
+            if rng is not None and rng_state is not None:
+                rng.bit_generator.state = rng_state
+            return aux
+    aux = train()
+    c.store(kind, key, {
+        "state": dict(vars(model)),
+        "aux": aux,
+        "rng_state": None if rng is None else rng.bit_generator.state,
+    })
+    return aux
+
+
+def cached_build(kind: str, parts: Dict[str, Any],
+                 build: Callable[[], Any],
+                 cache: Union[None, bool, ArtifactCache] = None) -> Any:
+    """Memoize a deterministic pure builder (e.g. dataset generation).
+
+    Unlike :func:`cached_fit` there is no in-place state to restore: the
+    builder's return value is stored and returned verbatim.
+    """
+    c = resolve_cache(cache)
+    if c is None:
+        return build()
+    key = c.key(kind, parts=parts)
+    entry = c.load(kind, key)
+    if isinstance(entry, dict) and "value" in entry:
+        return entry["value"]
+    value = build()
+    c.store(kind, key, {"value": value})
+    return value

@@ -1,0 +1,198 @@
+"""Deterministic process-pool execution for pure, seeded task closures.
+
+The paper's loops must run "as fast as the hardware allows"; the repo's
+hot paths (federated client training, the benchmark suite, pretraining
+sweeps) are embarrassingly parallel.  :class:`WorkerPool` fans such work
+out over OS processes while keeping the one property simulations cannot
+give up: **bit-identical results regardless of worker count**.
+
+The contract that makes this safe:
+
+* tasks are *pure closures over their arguments* — every random draw
+  comes from a ``numpy.random.Generator`` carried inside the task's
+  arguments, never from module state;
+* results are merged in **submission order**, so downstream aggregation
+  sees exactly the sequence a serial loop would have produced;
+* ``workers=1`` (the default) never touches ``multiprocessing`` at all —
+  tasks run inline in the parent, which is both the fallback for
+  restricted environments and the reference behaviour parallel runs are
+  tested against.
+
+Telemetry runs through :mod:`repro.obs`: each worker executes its task
+under a private live registry (only when the parent's registry is live)
+and ships the counter/gauge/histogram deltas back with the result, where
+they are merged in submission order.  A failing task raises
+:class:`TaskFailure` in the parent — promptly, with the worker traceback
+attached — rather than hanging the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs.registry import MetricsRegistry, get_registry, use_registry
+
+__all__ = ["WorkerPool", "TaskFailure", "resolve_workers"]
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+class TaskFailure(RuntimeError):
+    """A pool task raised: carries the task label/index; the original
+    exception is chained as ``__cause__``."""
+
+    def __init__(self, label: str, index: int, cause: BaseException):
+        super().__init__(
+            f"task {index} ({label}) failed: {cause!r}")
+        self.label = label
+        self.index = index
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` env > 1.
+
+    ``0``/``None`` defer to the environment; anything below 1 after
+    resolution is an error so misconfigured CI fails loudly instead of
+    silently serializing.
+    """
+    if workers in (None, 0):
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(raw) if raw else 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def _run_in_worker(fn: Callable[[Any], Any], item: Any,
+                   capture_obs: bool) -> Tuple[Any, Optional[dict], float]:
+    """Executed inside a worker process: run one task, capturing its
+    telemetry under a private registry when the parent wants it."""
+    t0 = time.perf_counter()
+    if not capture_obs:
+        return fn(item), None, time.perf_counter() - t0
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = fn(item)
+    delta = registry.worker_snapshot()
+    return result, delta, time.perf_counter() - t0
+
+
+class WorkerPool:
+    """Fan pure task closures out over processes; merge deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None``/``0`` read ``REPRO_WORKERS`` (default 1).
+        ``1`` is a guaranteed-serial fallback that never forks.
+
+    Use as a context manager (or call :meth:`close`) so the executor is
+    torn down promptly; the pool is reusable across many :meth:`map`
+    calls, which is what makes multi-round federated training cheap.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+        self._executor = None
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            # Imported lazily so workers=1 environments (restricted
+            # sandboxes, WASM-ish hosts) never touch multiprocessing.
+            from concurrent.futures import ProcessPoolExecutor
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    # ------------------------------------------------------------- dispatch
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            label: Optional[str] = None) -> List[Any]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        ``fn`` must be a module-level callable (picklable) and each item
+        must carry every input the task needs, including its RNG.  The
+        first failing task aborts the map and raises
+        :class:`TaskFailure` in the caller.
+        """
+        items = list(items)
+        label = label or getattr(fn, "__name__", "task")
+        obs = get_registry()
+        obs.counter("runtime.tasks_submitted").inc(len(items))
+        obs.gauge("runtime.pool_workers").set(self.workers)
+        with obs.trace_span(f"runtime.pool.{label}",
+                            attrs={"workers": self.workers,
+                                   "tasks": len(items)}):
+            if self.workers == 1:
+                return self._map_serial(fn, items, label, obs)
+            return self._map_parallel(fn, items, label, obs)
+
+    def _map_serial(self, fn, items, label, obs) -> List[Any]:
+        out = []
+        for index, item in enumerate(items):
+            t0 = time.perf_counter()
+            try:
+                result = fn(item)
+            except Exception as exc:
+                obs.counter("runtime.task_failures").inc()
+                raise TaskFailure(label, index, exc) from exc
+            obs.histogram("runtime.task_wall_s").observe(
+                time.perf_counter() - t0)
+            obs.counter("runtime.tasks_completed").inc()
+            out.append(result)
+        return out
+
+    def _map_parallel(self, fn, items, label, obs) -> List[Any]:
+        executor = self._ensure_executor()
+        capture = bool(getattr(obs, "enabled", False))
+        futures = [executor.submit(_run_in_worker, fn, item, capture)
+                   for item in items]
+        out = []
+        try:
+            for index, future in enumerate(futures):
+                try:
+                    result, delta, wall_s = future.result()
+                except Exception as exc:
+                    obs.counter("runtime.task_failures").inc()
+                    raise TaskFailure(label, index, exc) from exc
+                if delta is not None and hasattr(obs, "merge_worker_snapshot"):
+                    obs.merge_worker_snapshot(delta)
+                obs.histogram("runtime.task_wall_s").observe(wall_s)
+                obs.counter("runtime.tasks_completed").inc()
+                out.append(result)
+        finally:
+            for future in futures:
+                future.cancel()
+        return out
+
+    def starmap(self, fn: Callable[..., Any],
+                items: Iterable[Sequence[Any]],
+                label: Optional[str] = None) -> List[Any]:
+        """Like :meth:`map` but unpacks each item as positional args."""
+        return self.map(_Star(fn), items,
+                        label=label or getattr(fn, "__name__", "task"))
+
+
+class _Star:
+    """Picklable star-unpacking adapter for :meth:`WorkerPool.starmap`."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, item: Sequence[Any]) -> Any:
+        return self.fn(*item)

@@ -1,0 +1,64 @@
+"""Explicit per-task seed derivation for parallel execution.
+
+Determinism under a :class:`~repro.runtime.pool.WorkerPool` requires
+every task to own its randomness: a ``numpy.random.Generator`` carried
+in the task's arguments, never module state, and never an object shared
+with another task.  Two helpers enforce that discipline:
+
+* :func:`spawn_rngs` / :func:`spawn_seeds` derive statistically
+  independent per-task streams from one base seed via
+  ``numpy.random.SeedSequence`` — the supported way to give *n* workers
+  non-overlapping randomness that does not depend on worker count or
+  scheduling;
+* :func:`assert_private_rngs` rejects aliased generators up front.  A
+  ``Generator`` shared between tasks is a silent determinism bug in
+  parallel mode: serial execution interleaves draws through the shared
+  state, while each forked worker advances a private *copy*, so results
+  differ from serial — and from run to run.  Failing loudly beats both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "spawn_rngs", "assert_private_rngs"]
+
+
+def spawn_seeds(base_seed: Optional[int], n: int) -> List[int]:
+    """``n`` independent 64-bit seeds derived from ``base_seed``."""
+    if n < 0:
+        raise ValueError("need a non-negative task count")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(2, dtype=np.uint32)[0])
+            for child in children]
+
+
+def spawn_rngs(base_seed: Optional[int], n: int
+               ) -> List[np.random.Generator]:
+    """``n`` independent generators derived from ``base_seed``."""
+    if n < 0:
+        raise ValueError("need a non-negative task count")
+    return [np.random.default_rng(child)
+            for child in np.random.SeedSequence(base_seed).spawn(n)]
+
+
+def assert_private_rngs(rngs: Iterable[np.random.Generator],
+                        owners: Optional[Sequence[object]] = None) -> None:
+    """Raise if any two tasks would share one ``Generator`` object."""
+    seen = {}
+    for index, rng in enumerate(rngs):
+        if rng is None:
+            continue
+        if id(rng) in seen:
+            first = seen[id(rng)]
+            a = owners[first] if owners is not None else f"task {first}"
+            b = owners[index] if owners is not None else f"task {index}"
+            raise ValueError(
+                f"{a} and {b} share one numpy Generator; parallel "
+                "execution would diverge from serial (each worker "
+                "advances a private copy of the shared state). Give "
+                "every task its own generator, e.g. via "
+                "repro.runtime.spawn_rngs(seed, n).")
+        seen[id(rng)] = index

@@ -64,14 +64,31 @@ class ClassificationDataset:
 
 
 def make_synthetic_cifar(n_per_class: int = 60, n_classes: int = 10,
-                         side: int = 8, seed: int = 0
-                         ) -> ClassificationDataset:
+                         side: int = 8, seed: int = 0,
+                         cache=None) -> ClassificationDataset:
     """10-class image-like dataset (the CIFAR-10 substitute).
 
     Each class has a fixed spatial prototype (oriented gratings at a
     class-specific frequency/angle); samples add smooth deformations and
     pixel noise.  Flattened to ``side * side`` features in [0, 1].
+
+    Generation is pure in its arguments, so the dataset is memoized
+    through the artifact cache (``cache=False`` opts out).
     """
+    from ..runtime.cache import cached_build
+
+    def build() -> ClassificationDataset:
+        return _build_synthetic_cifar(n_per_class, n_classes, side, seed)
+
+    return cached_build(
+        "synthetic_cifar",
+        {"n_per_class": n_per_class, "n_classes": n_classes,
+         "side": side, "seed": seed},
+        build, cache=cache)
+
+
+def _build_synthetic_cifar(n_per_class: int, n_classes: int, side: int,
+                           seed: int) -> ClassificationDataset:
     rng = np.random.default_rng(seed)
     yy, xx = np.mgrid[0:side, 0:side].astype(np.float64)
     xs, ys = [], []

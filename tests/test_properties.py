@@ -40,12 +40,17 @@ def test_quantize_bounded_by_maxabs(x):
 
 @given(arrays(np.float64, st.integers(2, 30), elements=small_floats))
 @settings(max_examples=40, deadline=None)
-def test_quantization_noise_monotone_in_bits(x):
-    e4 = quantization_noise_power(x, 4)
-    e8 = quantization_noise_power(x, 8)
-    e16 = quantization_noise_power(x, 16)
-    assert e16 <= e8 + 1e-12
-    assert e8 <= e4 + 1e-12
+def test_quantization_noise_within_shrinking_bound(x):
+    # Pointwise noise is NOT monotone in bits for max-abs uniform grids
+    # (a value can land exactly on a coarse grid point, e.g.
+    # x = [7.125, 3.0625] has less 4-bit than 8-bit error).  The sound
+    # property is the worst-case bound (scale/2)^2, which shrinks
+    # strictly with precision.
+    max_abs = float(np.max(np.abs(x)))
+    for bits in (4, 8, 16):
+        levels = 2 ** (bits - 1) - 1
+        bound = (max_abs / levels / 2.0) ** 2
+        assert quantization_noise_power(x, bits) <= bound + 1e-18
 
 
 # ---------------------------------------------------------------- softmax

@@ -1,0 +1,351 @@
+"""Tests for repro.runtime: worker pools, artifact cache, seeding,
+parallel federated rounds, and the bench driver."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.federated import FLClient, FLServer, make_fleet
+from repro.nn import VAE, train_vae
+from repro.runtime import (
+    ArtifactCache,
+    TaskFailure,
+    WorkerPool,
+    assert_private_rngs,
+    cached_fit,
+    fingerprint,
+    resolve_workers,
+    run_suite,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.sim import make_synthetic_cifar, shard_iid
+
+
+# ----------------------------------------------------- module-level tasks
+# (pool tasks must be picklable, hence top-level)
+def _square(x):
+    return x * x
+
+
+def _seeded_draw(seed):
+    return float(np.random.default_rng(seed).normal())
+
+
+def _boom(x):
+    raise RuntimeError(f"task exploded on {x}")
+
+
+def _instrumented(x):
+    reg = obs.get_registry()
+    reg.counter("test.task_count").inc()
+    reg.counter("test.task_sum").inc(float(x))
+    reg.histogram("test.task_hist").observe(float(x))
+    reg.gauge("test.task_last").set(float(x))
+    return x
+
+
+# -------------------------------------------------------------- resolve
+def test_resolve_workers_default_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == 1
+    assert resolve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert resolve_workers(None) == 4
+    assert resolve_workers(2) == 2  # explicit beats env
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+# ------------------------------------------------------------------ pool
+def test_pool_serial_and_parallel_identical_ordered():
+    seeds = list(range(8))
+    with WorkerPool(1) as serial:
+        expected = serial.map(_seeded_draw, seeds)
+    with WorkerPool(3) as pool:
+        got = pool.map(_seeded_draw, seeds)
+    assert got == expected  # bit-identical, submission order
+
+
+def test_pool_workers_one_never_forks():
+    pool = WorkerPool(1)
+    assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert pool._executor is None
+
+
+def test_pool_task_failure_raises_in_parent():
+    with WorkerPool(2) as pool:
+        with pytest.raises(TaskFailure) as exc_info:
+            pool.map(_boom, ["a", "b"])
+    assert "task 0" in str(exc_info.value)
+    assert "exploded" in str(exc_info.value)
+    assert isinstance(exc_info.value.__cause__, RuntimeError)
+
+
+def test_pool_task_failure_serial_path_too():
+    with WorkerPool(1) as pool:
+        with pytest.raises(TaskFailure):
+            pool.map(_boom, [1])
+
+
+def test_pool_merges_worker_obs_counters():
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with WorkerPool(2) as pool:
+            pool.map(_instrumented, [1.0, 2.0, 3.0, 4.0])
+    counters = registry.snapshot()["counters"]
+    assert counters["test.task_count"] == 4.0
+    assert counters["test.task_sum"] == 10.0
+    assert counters["runtime.tasks_submitted"] == 4.0
+    assert counters["runtime.tasks_completed"] == 4.0
+    hist = registry.histogram("test.task_hist")
+    assert hist.count == 4
+    assert hist.total == 10.0
+    # gauges: last submission wins, as in a serial run
+    assert registry.gauge("test.task_last").value == 4.0
+    assert registry.histogram("runtime.task_wall_s").count == 4
+
+
+def test_pool_obs_match_serial_exactly():
+    serial_reg = obs.MetricsRegistry()
+    with obs.use_registry(serial_reg):
+        with WorkerPool(1) as pool:
+            pool.map(_instrumented, [5.0, 7.0])
+    parallel_reg = obs.MetricsRegistry()
+    with obs.use_registry(parallel_reg):
+        with WorkerPool(2) as pool:
+            pool.map(_instrumented, [5.0, 7.0])
+    s = serial_reg.snapshot()["counters"]
+    p = parallel_reg.snapshot()["counters"]
+    for name in ("test.task_count", "test.task_sum",
+                 "runtime.tasks_submitted", "runtime.tasks_completed"):
+        assert s[name] == p[name]
+
+
+def test_starmap_unpacks_args():
+    with WorkerPool(2) as pool:
+        assert pool.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+
+# --------------------------------------------------------------- seeding
+def test_spawn_seeds_deterministic_and_distinct():
+    a = spawn_seeds(42, 6)
+    b = spawn_seeds(42, 6)
+    assert a == b
+    assert len(set(a)) == 6
+    assert spawn_seeds(43, 6) != a
+
+
+def test_spawn_rngs_independent_streams():
+    rngs = spawn_rngs(0, 4)
+    draws = [r.normal() for r in rngs]
+    assert len(set(draws)) == 4
+    again = [r.normal() for r in spawn_rngs(0, 4)]
+    assert [r for r in draws] == again
+
+
+def test_assert_private_rngs_rejects_aliases():
+    shared = np.random.default_rng(0)
+    assert_private_rngs([np.random.default_rng(0),
+                         np.random.default_rng(0)])  # equal state is fine
+    with pytest.raises(ValueError, match="share one numpy Generator"):
+        assert_private_rngs([shared, shared])
+
+
+# ----------------------------------------------------------------- cache
+def _tmp_cache(tmp_path):
+    return ArtifactCache(str(tmp_path / "cache"))
+
+
+def test_cache_roundtrip_and_counters(tmp_path):
+    cache = _tmp_cache(tmp_path)
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        key = cache.key("thing", a=1, arr=np.arange(4))
+        assert cache.load("thing", key) is None  # miss
+        cache.store("thing", key, {"x": np.ones(3), "n": 7})
+        loaded = cache.load("thing", key)
+    assert loaded["n"] == 7
+    np.testing.assert_array_equal(loaded["x"], np.ones(3))
+    counters = registry.snapshot()["counters"]
+    assert counters["runtime.cache_misses"] == 1.0
+    assert counters["runtime.cache_hits"] == 1.0
+    assert counters["runtime.cache_writes"] == 1.0
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["by_kind"] == {"thing": 1}
+    assert cache.clear() == 1
+    assert cache.info()["entries"] == 0
+
+
+def test_cache_corrupt_entry_recovers(tmp_path):
+    cache = _tmp_cache(tmp_path)
+    key = cache.key("blob", seed=3)
+    cache.store("blob", key, {"v": 1})
+    path = cache._path("blob", key)
+    with open(path, "wb") as f:
+        f.write(b"\x00not a pickle at all")
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        assert cache.load("blob", key) is None
+    assert registry.snapshot()["counters"]["runtime.cache_corrupt"] == 1.0
+    assert not os.path.exists(path)  # poisoned entry evicted
+    cache.store("blob", key, {"v": 2})  # recompute-and-store works again
+    assert cache.load("blob", key)["v"] == 2
+
+
+def test_fingerprint_content_addressed():
+    a = fingerprint({"x": np.arange(5), "lr": 0.1})
+    b = fingerprint({"lr": 0.1, "x": np.arange(5)})  # key order irrelevant
+    assert a == b
+    assert fingerprint({"x": np.arange(5), "lr": 0.2}) != a
+    changed = np.arange(5).copy()
+    changed[0] = 9
+    assert fingerprint({"x": changed, "lr": 0.1}) != a
+    # RNG state participates: same seed same key, different seed not
+    assert fingerprint(np.random.default_rng(1)) == \
+        fingerprint(np.random.default_rng(1))
+    assert fingerprint(np.random.default_rng(1)) != \
+        fingerprint(np.random.default_rng(2))
+
+
+def test_cached_fit_hit_restores_model_and_rng(tmp_path):
+    cache = _tmp_cache(tmp_path)
+
+    def build():
+        return VAE(6, latent_dim=2, hidden=(8,),
+                   rng=np.random.default_rng(0))
+
+    data = np.random.default_rng(1).normal(size=(24, 6))
+
+    vae_a = build()
+    rng_a = np.random.default_rng(2)
+    losses_a = train_vae(vae_a, data, epochs=2, rng=rng_a, cache=cache)
+
+    registry = obs.MetricsRegistry()
+    vae_b = build()
+    rng_b = np.random.default_rng(2)
+    with obs.use_registry(registry):
+        losses_b = train_vae(vae_b, data, epochs=2, rng=rng_b, cache=cache)
+    assert registry.snapshot()["counters"]["runtime.cache_hits"] == 1.0
+    assert losses_a == losses_b
+    for pa, pb in zip(vae_a.parameters(), vae_b.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+    # post-training RNG state restored: downstream draws are identical
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    # different epochs -> different key -> miss
+    vae_c = build()
+    registry2 = obs.MetricsRegistry()
+    with obs.use_registry(registry2):
+        train_vae(vae_c, data, epochs=3, rng=np.random.default_rng(2),
+                  cache=cache)
+    assert registry2.snapshot()["counters"].get(
+        "runtime.cache_hits", 0.0) == 0.0
+
+
+def test_cached_fit_disabled_paths(tmp_path, monkeypatch):
+    calls = []
+
+    class Toy:
+        pass
+
+    def train():
+        calls.append(1)
+        return "aux"
+
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert cached_fit("toy", {}, Toy(), None, train, cache=None) == "aux"
+    assert cached_fit("toy", {}, Toy(), None, train, cache=False) == "aux"
+    assert len(calls) == 2  # env kill-switch + explicit opt-out: no memo
+
+
+# ----------------------------------------------- parallel federated round
+def _small_server(n_clients=3, seed=0, pool_safe=True):
+    ds = make_synthetic_cifar(n_per_class=8, seed=seed, cache=False)
+    train, test = ds.split(0.25, np.random.default_rng(seed + 1))
+    shards = shard_iid(train, n_clients, rng=np.random.default_rng(seed + 2))
+    fleet = make_fleet(n_clients, rng=np.random.default_rng(seed + 3))
+    clients = [FLClient(i, s, p, rng=np.random.default_rng(50 + i))
+               for i, (s, p) in enumerate(zip(shards, fleet))]
+    return FLServer(clients, test, hidden=8, mode="dcnas+halo",
+                    rng=np.random.default_rng(seed + 4))
+
+
+def test_fl_round_parallel_bit_identical_to_serial():
+    serial = _small_server()
+    serial.run(2)
+    parallel = _small_server()
+    with WorkerPool(2) as pool:
+        parallel.run(2, pool=pool)
+    for a, b in zip(serial.global_weights, parallel.global_weights):
+        np.testing.assert_array_equal(a, b)
+    assert [h.test_accuracy for h in serial.history] == \
+        [h.test_accuracy for h in parallel.history]
+    assert [h.mean_train_loss for h in serial.history] == \
+        [h.mean_train_loss for h in parallel.history]
+    # client RNGs advanced exactly as in the serial run
+    for ca, cb in zip(serial.clients, parallel.clients):
+        assert ca.rng.bit_generator.state == cb.rng.bit_generator.state
+
+
+def test_fl_round_parallel_obs_counters_match_serial():
+    serial = _small_server()
+    reg_s = obs.MetricsRegistry()
+    with obs.use_registry(reg_s):
+        serial.run_round()
+    parallel = _small_server()
+    reg_p = obs.MetricsRegistry()
+    with obs.use_registry(reg_p):
+        with WorkerPool(2) as pool:
+            parallel.run_round(pool=pool)
+    s, p = reg_s.snapshot()["counters"], reg_p.snapshot()["counters"]
+    assert s["federated.client_macs"] == p["federated.client_macs"]
+    assert s["federated.client_energy_mj"] == p["federated.client_energy_mj"]
+    assert p["runtime.tasks_submitted"] == 3.0
+
+
+def test_fl_round_rejects_shared_generator_in_parallel():
+    server = _small_server()
+    shared = np.random.default_rng(9)
+    for client in server.clients:
+        client.rng = shared
+    with WorkerPool(2) as pool:
+        with pytest.raises(ValueError, match="share one numpy Generator"):
+            server.run_round(pool=pool)
+    # serial semantics (interleaved draws through one state) still allowed
+    server.run_round()
+
+
+def test_flclient_emulated_wall_validation():
+    with pytest.raises(ValueError):
+        FLClient(0, make_synthetic_cifar(n_per_class=2, cache=False),
+                 make_fleet(1)[0], emulated_round_s=-1.0)
+
+
+def test_flclient_is_picklable():
+    server = _small_server()
+    blob = pickle.dumps(server.clients[0])
+    clone = pickle.loads(blob)
+    assert clone.client_id == server.clients[0].client_id
+    assert clone.rng.bit_generator.state == \
+        server.clients[0].rng.bit_generator.state
+
+
+# ---------------------------------------------------------- bench driver
+def test_run_suite_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown benches"):
+        run_suite(["not_a_bench"], workers=1)
+
+
+def test_run_suite_results_identical_across_workers():
+    serial = run_suite(["fig5a_model_macs", "codesign"], workers=1)
+    parallel = run_suite(["fig5a_model_macs", "codesign"], workers=2)
+    assert serial["results"] == parallel["results"]
+    assert serial["meta"]["workers"] == 1
+    assert parallel["meta"]["workers"] == 2
+    assert set(parallel["meta"]["bench_wall_s"]) == {
+        "fig5a_model_macs", "codesign"}
