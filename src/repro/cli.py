@@ -19,6 +19,10 @@ writing any code:
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
+* ``verify``            — golden-trace differential verification: replay
+  the five pillar scenarios serially, pooled, cached, and quantized,
+  diffing each against the committed goldens under ``tests/goldens/``
+  (``--update-goldens`` re-records them);
 * ``list``              — enumerate available demos and experiments.
 
 Every failure path (unknown demo/experiment/profile target, a demo
@@ -359,6 +363,29 @@ def main(argv=None) -> int:
     cache.add_argument("action", choices=("info", "clear"))
     cache.add_argument("--json", action="store_true",
                        help="emit machine-readable info")
+    verify = sub.add_parser(
+        "verify",
+        help="golden-trace differential verification (serial / pooled / "
+             "cached / quantized) against tests/goldens/")
+    verify.add_argument("scenarios", nargs="*",
+                        help="scenario names (default: all five pillars)")
+    verify.add_argument("--update-goldens", action="store_true",
+                        help="re-record goldens from fresh serial runs "
+                             "before verifying")
+    verify.add_argument("--workers", type=int, default=None,
+                        help="pool size for the pooled differential "
+                             "(default: max(2, $REPRO_WORKERS))")
+    verify.add_argument("--goldens-dir", default="",
+                        help="golden directory (default: tests/goldens "
+                             "or $REPRO_GOLDENS_DIR)")
+    verify.add_argument("--diff-out", default="",
+                        help="write the full JSON verification report "
+                             "(with per-field mismatches) here")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    verify.add_argument("--skip", default="",
+                        help="comma-separated checks to skip "
+                             "(serial,pooled,cache,quantized)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -395,6 +422,11 @@ def main(argv=None) -> int:
         return _run_bench(args.names, args.workers, args.out)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
+    if args.command == "verify":
+        from repro.testkit import main_verify
+        return main_verify(args.scenarios, args.update_goldens,
+                           args.workers, args.goldens_dir, args.diff_out,
+                           args.json, args.skip)
     parser.print_help()
     return 1
 

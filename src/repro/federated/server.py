@@ -197,6 +197,17 @@ class FLServer:
         return self.history
 
     # ------------------------------------------------------------ reporting
+    def weights_fingerprint(self) -> str:
+        """Content hash of the current global weights.
+
+        A compact bit-identity witness: two servers that trained through
+        different execution strategies (serial vs pooled, cached vs
+        fresh) must land on the same fingerprint.  Used by the
+        golden-trace verification harness (:mod:`repro.testkit`).
+        """
+        from ..runtime.cache import fingerprint
+        return fingerprint([w for w in self.global_weights])
+
     def totals(self) -> Dict[str, float]:
         """Accumulated resource totals and final accuracy."""
         if not self.history:

@@ -154,12 +154,22 @@ class RMAE(Module):
         obs.counter("rmae.active_voxels").inc(cloud.num_occupied)
         return logits[0]
 
+    def occupancy_probability(self, cloud: VoxelizedCloud) -> np.ndarray:
+        """Per-voxel occupancy probability (nx, ny, nz) in [0, 1].
+
+        The continuous output behind :meth:`reconstruct_occupancy`;
+        exposed separately so evaluation harnesses (and the golden-trace
+        recorder) can diff the full probability field rather than its
+        thresholding.
+        """
+        logits = self.forward(cloud)
+        prob = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        return prob.transpose(1, 2, 0)
+
     def reconstruct_occupancy(self, cloud: VoxelizedCloud,
                               threshold: float = 0.5) -> np.ndarray:
         """Binary occupancy prediction (nx, ny, nz)."""
-        logits = self.forward(cloud)
-        prob = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
-        return (prob > threshold).transpose(1, 2, 0)
+        return self.occupancy_probability(cloud) > threshold
 
     def training_step(self, masked: VoxelizedCloud,
                       full_occupancy: np.ndarray,

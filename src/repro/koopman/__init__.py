@@ -6,6 +6,7 @@ from .agent import (
     evaluate_controller,
     make_controller,
     mpc_action,
+    rollout_controller,
     run_disturbance_experiment,
 )
 from .baselines import (
@@ -39,6 +40,7 @@ __all__ = [
     "MPC_HORIZON",
     "ContrastiveKoopmanEncoder", "ReplayBuffer", "SACAgent", "SACConfig",
     "RoboKoopAgent", "collect_transitions", "evaluate_controller",
-    "make_controller", "mpc_action", "run_disturbance_experiment",
+    "make_controller", "mpc_action", "rollout_controller",
+    "run_disturbance_experiment",
     "RecursiveKoopman", "ConformalPredictor", "uncertainty_to_coverage",
 ]

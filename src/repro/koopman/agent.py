@@ -33,8 +33,8 @@ from .encoder import ContrastiveKoopmanEncoder
 from .lqr import LQRController
 
 __all__ = ["collect_transitions", "mpc_action", "make_controller",
-           "evaluate_controller", "run_disturbance_experiment",
-           "RoboKoopAgent"]
+           "rollout_controller", "evaluate_controller",
+           "run_disturbance_experiment", "RoboKoopAgent"]
 
 Controller = Callable[[np.ndarray], float]
 
@@ -105,6 +105,35 @@ def make_controller(model: DynamicsModel,
         lqr.set_goal(model.latent_goal(np.zeros(model.state_dim)))
         return lambda s: float(lqr.act(model.encode(s)[0])[0])
     return lambda s: mpc_action(model, s, rng)
+
+
+def rollout_controller(controller: Controller, disturbance_p: float = 0.0,
+                       steps: int = 150, seed: int = 0,
+                       a_min: float = 2.0, a_max: float = 8.0
+                       ) -> Tuple[np.ndarray, np.ndarray, float]:
+    """One fully seeded closed-loop episode; returns its whole trajectory.
+
+    Unlike :func:`evaluate_controller` (which averages episode rewards),
+    this exposes the *states and actions* of a single rollout — the
+    deterministic trace the golden-trace verification harness
+    (:mod:`repro.testkit`) records and diffs bit-for-bit.
+    """
+    env = CartPole(
+        disturbance=DisturbanceProcess(p=disturbance_p, a_min=a_min,
+                                       a_max=a_max),
+        rng=np.random.default_rng(seed))
+    s = env.reset(noise_scale=0.05)
+    states, actions = [s.copy()], []
+    reward = 0.0
+    for _ in range(steps):
+        a = float(controller(s))
+        s, r, done = env.step(a)
+        states.append(s.copy())
+        actions.append(a)
+        reward += r
+        if done:
+            break
+    return np.asarray(states), np.asarray(actions), reward
 
 
 def evaluate_controller(controller: Controller, disturbance_p: float,

@@ -39,14 +39,20 @@ def roc_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
     """Area under the ROC curve via the Mann-Whitney statistic.
 
     Exactly handles ties; 0.5 means the score cannot separate the
-    classes, 1.0 means perfect separation.
+    classes, 1.0 means perfect separation.  Degenerate single-class
+    input (all-positive or all-negative labels) carries no separation
+    evidence, so it returns chance level 0.5 rather than the NaN a
+    naive 0/0 normalization would produce — monitors evaluating a batch
+    that happens to be all-nominal keep a well-defined reading.
     """
     scores = np.asarray(scores, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same shape")
     pos = scores[labels == 1]
     neg = scores[labels == 0]
     if pos.size == 0 or neg.size == 0:
-        raise ValueError("need both positive and negative samples")
+        return 0.5
     # Rank-sum formulation with midranks for ties.
     combined = np.concatenate([pos, neg])
     order = np.argsort(combined, kind="stable")

@@ -20,6 +20,7 @@ from .flow_models import (
     SpikeFlowNet,
     build_flow_model,
     evaluate_aee,
+    per_sample_aee,
     train_flow_model,
 )
 from .neurons import LIFParameters, lif_step, surrogate_gradient
@@ -33,7 +34,7 @@ __all__ = [
     "energy_ratio_ann_over_snn",
     "FlowModel", "EvFlowNet", "SpikeFlowNet", "FusionFlowNet",
     "AdaptiveSpikeNet", "FLOW_MODEL_FAMILIES", "build_flow_model",
-    "train_flow_model", "evaluate_aee",
+    "train_flow_model", "per_sample_aee", "evaluate_aee",
     "DOTIE", "BoundingBox",
     "RateCodedSNN", "activation_maxima", "convert_ann_to_snn",
 ]

@@ -35,7 +35,7 @@ from .snn import SpikingConv2d, spike_rate
 
 __all__ = ["FlowModel", "EvFlowNet", "SpikeFlowNet", "FusionFlowNet",
            "AdaptiveSpikeNet", "FLOW_MODEL_FAMILIES", "build_flow_model",
-           "train_flow_model", "evaluate_aee"]
+           "train_flow_model", "per_sample_aee", "evaluate_aee"]
 
 
 class FlowModel(Module):
@@ -330,13 +330,25 @@ def train_flow_model(model: FlowModel, samples: Sequence[FlowSample],
     return losses
 
 
-def evaluate_aee(model: FlowModel, samples: Sequence[FlowSample],
-                 masked: bool = True) -> float:
-    """Mean AEE over the samples (events-mask restricted, MVSEC-style)."""
+def per_sample_aee(model: FlowModel, samples: Sequence[FlowSample],
+                   masked: bool = True) -> List[float]:
+    """Endpoint error of every sample individually (trace-level view).
+
+    :func:`evaluate_aee` reduces this to its mean; golden-trace
+    verification records the full vector so a drift on one sample
+    cannot hide behind the aggregate.
+    """
     from ..metrics.flow import average_endpoint_error
-    total = 0.0
+    errors: List[float] = []
     for sample in samples:
         pred = model.predict(sample)
         mask = sample.has_event_mask if masked else None
-        total += average_endpoint_error(pred, sample.flow, mask=mask)
-    return total / max(len(samples), 1)
+        errors.append(average_endpoint_error(pred, sample.flow, mask=mask))
+    return errors
+
+
+def evaluate_aee(model: FlowModel, samples: Sequence[FlowSample],
+                 masked: bool = True) -> float:
+    """Mean AEE over the samples (events-mask restricted, MVSEC-style)."""
+    errors = per_sample_aee(model, samples, masked=masked)
+    return sum(errors) / max(len(errors), 1)

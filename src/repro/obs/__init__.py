@@ -22,6 +22,7 @@ per cycle until :func:`enable` (or ``repro profile ...``) turns it on.
 
 from .export import (
     aggregate_spans,
+    deterministic_counters,
     export_jsonl,
     read_jsonl,
     registry_payload,
@@ -60,6 +61,7 @@ __all__ = [
     "get_registry", "set_registry", "enable", "disable", "use_registry",
     "trace_span",
     "export_jsonl", "read_jsonl", "registry_payload", "aggregate_spans",
+    "deterministic_counters",
     "render_span_tree", "render_metrics", "render_report",
     "run_profile_scenario",
 ]

@@ -18,8 +18,15 @@ from typing import Dict, List, Optional, Sequence
 from .spans import Span
 
 __all__ = ["export_jsonl", "read_jsonl", "registry_payload",
-           "aggregate_spans", "render_span_tree", "render_metrics",
-           "render_report"]
+           "deterministic_counters", "aggregate_spans", "render_span_tree",
+           "render_metrics", "render_report"]
+
+# Counter namespaces whose values depend on the execution *strategy*
+# (cache hits vs fresh computes, pool bookkeeping) rather than on the
+# computation itself.  Golden-trace verification excludes them so the
+# same scenario yields the same counters whether it ran serially,
+# pooled, cached, or cold.
+NONDETERMINISTIC_COUNTER_PREFIXES = ("runtime.",)
 
 
 # ----------------------------------------------------------------- JSONL
@@ -31,6 +38,22 @@ def registry_payload(registry) -> dict:
         "dropped_spans": getattr(getattr(registry, "tracer", None),
                                  "dropped", 0),
     }
+
+
+def deterministic_counters(
+        registry,
+        exclude_prefixes: Sequence[str] = NONDETERMINISTIC_COUNTER_PREFIXES,
+) -> Dict[str, float]:
+    """Sorted counter snapshot with strategy-dependent namespaces removed.
+
+    Histograms and gauges observe wall-clock quantities and pool sizes,
+    so only counters — pure event counts driven by the seeded
+    computation — are reproducible across runs; this is the slice of
+    telemetry :mod:`repro.testkit` records into golden traces.
+    """
+    counters = registry.snapshot()["counters"]
+    return {name: float(value) for name, value in sorted(counters.items())
+            if not any(name.startswith(p) for p in exclude_prefixes)}
 
 
 def export_jsonl(registry, path: str) -> int:

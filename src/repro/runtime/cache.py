@@ -50,7 +50,8 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENV = "REPRO_CACHE"
 # Bump to invalidate every existing entry (artifact layout changes).
-CACHE_VERSION = 1
+# v2: entries carry the telemetry counter delta of the elided compute.
+CACHE_VERSION = 2
 
 _FALSEY = {"0", "off", "false", "no"}
 
@@ -241,6 +242,44 @@ def resolve_cache(cache: Union[None, bool, ArtifactCache]
 
 
 # ------------------------------------------------------------- memoizers
+def _capture_counters(compute: Callable[[], Any]):
+    """Run ``compute`` and return ``(result, counter_delta)``.
+
+    The delta covers every non-``runtime.*`` counter the compute
+    incremented on the active registry — the deterministic slice of
+    telemetry a cache hit would otherwise silently elide.  ``None``
+    when observability is disabled (nothing was recorded to replay).
+    """
+    obs = get_registry()
+    if not getattr(obs, "enabled", False):
+        return compute(), None
+    before = obs.snapshot()["counters"]
+    result = compute()
+    after = obs.snapshot()["counters"]
+    delta = {name: value - before.get(name, 0.0)
+             for name, value in after.items()
+             if value > before.get(name, 0.0)
+             and not name.startswith("runtime.")}
+    return result, delta
+
+
+def _replay_counters(delta: Optional[Dict[str, float]]) -> bool:
+    """Re-increment a stored counter delta on the active registry.
+
+    Returns ``False`` when the entry was recorded blind (``delta is
+    None``) while the current registry is live — the one case a hit
+    would lose telemetry, so the caller must recompute instead.
+    """
+    obs = get_registry()
+    if not getattr(obs, "enabled", False):
+        return True
+    if delta is None:
+        return False
+    for name in sorted(delta):
+        obs.counter(name).inc(delta[name])
+    return True
+
+
 def cached_fit(kind: str, parts: Dict[str, Any], model: Any,
                rng: Optional[np.random.Generator],
                train: Callable[[], Any],
@@ -249,11 +288,14 @@ def cached_fit(kind: str, parts: Dict[str, Any], model: Any,
 
     The key covers ``parts`` (hyper-parameters + data), the model's
     *initial* state, and the RNG's pre-training state.  On a hit the
-    stored post-training model state replaces ``model``'s attributes and
-    the RNG is advanced to its stored post-training state, so callers
-    cannot observe the difference between computing and loading.
-    Returns whatever ``train()`` returned when the artifact was built
-    (typically per-epoch losses).
+    stored post-training model state replaces ``model``'s attributes,
+    the RNG is advanced to its stored post-training state, and the
+    training run's counter increments are replayed into the active
+    registry, so callers cannot observe the difference between
+    computing and loading — not even through telemetry (only the
+    ``runtime.cache_*`` bookkeeping differs).  Returns whatever
+    ``train()`` returned when the artifact was built (typically
+    per-epoch losses).
     """
     c = resolve_cache(cache)
     if c is None:
@@ -263,21 +305,26 @@ def cached_fit(kind: str, parts: Dict[str, Any], model: Any,
     entry = c.load(kind, key)
     if entry is not None:
         try:
-            state, aux, rng_state = (entry["state"], entry["aux"],
-                                     entry["rng_state"])
+            state, aux, rng_state, obs_delta = (
+                entry["state"], entry["aux"], entry["rng_state"],
+                entry["obs"])
         except (TypeError, KeyError):
             pass  # stale layout: fall through and recompute
         else:
-            model.__dict__.clear()
-            model.__dict__.update(state)
-            if rng is not None and rng_state is not None:
-                rng.bit_generator.state = rng_state
-            return aux
-    aux = train()
+            if _replay_counters(obs_delta):
+                model.__dict__.clear()
+                model.__dict__.update(state)
+                if rng is not None and rng_state is not None:
+                    rng.bit_generator.state = rng_state
+                return aux
+            # Entry was recorded without observability but this run is
+            # live: recompute so telemetry stays faithful.
+    aux, obs_delta = _capture_counters(train)
     c.store(kind, key, {
         "state": dict(vars(model)),
         "aux": aux,
         "rng_state": None if rng is None else rng.bit_generator.state,
+        "obs": obs_delta,
     })
     return aux
 
@@ -288,15 +335,18 @@ def cached_build(kind: str, parts: Dict[str, Any],
     """Memoize a deterministic pure builder (e.g. dataset generation).
 
     Unlike :func:`cached_fit` there is no in-place state to restore: the
-    builder's return value is stored and returned verbatim.
+    builder's return value is stored and returned verbatim (counter
+    increments are captured and replayed exactly as in
+    :func:`cached_fit`).
     """
     c = resolve_cache(cache)
     if c is None:
         return build()
     key = c.key(kind, parts=parts)
     entry = c.load(kind, key)
-    if isinstance(entry, dict) and "value" in entry:
+    if (isinstance(entry, dict) and "value" in entry
+            and _replay_counters(entry.get("obs"))):
         return entry["value"]
-    value = build()
-    c.store(kind, key, {"value": value})
+    value, obs_delta = _capture_counters(build)
+    c.store(kind, key, {"value": value, "obs": obs_delta})
     return value

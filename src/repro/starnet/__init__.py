@@ -1,7 +1,12 @@
 """``repro.starnet`` — sensor trustworthiness monitoring (Sec. V)."""
 
 from .adaptive_fusion import ContextAwareThreshold, ReliabilityWeightedFusion
-from .evaluation import AUCExperimentConfig, generate_scans, run_auc_experiment
+from .evaluation import (
+    AUCExperimentConfig,
+    corruption_scores,
+    generate_scans,
+    run_auc_experiment,
+)
 from .features import LidarFeatureExtractor, camera_features, scan_statistics
 from .fusion import GatedFilter, filter_backscatter, run_recovery_experiment
 from .likelihood_regret import (
@@ -19,7 +24,8 @@ __all__ = [
     "reconstruction_error_score",
     "LidarFeatureExtractor", "camera_features", "scan_statistics",
     "STARNet",
-    "AUCExperimentConfig", "generate_scans", "run_auc_experiment",
+    "AUCExperimentConfig", "generate_scans", "corruption_scores",
+    "run_auc_experiment",
     "LoRAFineTuner",
     "GatedFilter", "filter_backscatter", "run_recovery_experiment",
     "DriftDetector", "ReliabilityWeightedFusion", "ContextAwareThreshold",

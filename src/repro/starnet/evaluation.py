@@ -27,7 +27,8 @@ from ..voxel.grid import VoxelGridConfig
 from .features import LidarFeatureExtractor
 from .monitor import STARNet
 
-__all__ = ["AUCExperimentConfig", "generate_scans", "run_auc_experiment"]
+__all__ = ["AUCExperimentConfig", "generate_scans", "corruption_scores",
+           "run_auc_experiment"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,24 @@ def generate_scans(n: int, lidar: LidarConfig, seed: int) -> List[LidarScan]:
     rng = np.random.default_rng(seed)
     scanner = LidarScanner(lidar, rng=rng)
     return [scanner.scan(sample_scene(rng)) for _ in range(n)]
+
+
+def corruption_scores(monitor: STARNet, extractor: LidarFeatureExtractor,
+                      scans: List[LidarScan], corruption: str,
+                      severity: float, seed: int) -> List[float]:
+    """Monitor scores over corrupted copies of ``scans``; fully seeded.
+
+    One corruption family of the AUC protocol's step 3, factored out so
+    deterministic harnesses (golden-trace verification) can record the
+    per-scan scores instead of only the aggregate AUC.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        monitor.score(extractor.extract(apply_corruption(
+            s, corruption, severity=severity,
+            rng=np.random.default_rng(rng.integers(2 ** 31)))))
+        for s in scans
+    ]
 
 
 def run_auc_experiment(config: Optional[AUCExperimentConfig] = None

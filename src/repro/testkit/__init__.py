@@ -1,0 +1,72 @@
+"""``repro.testkit`` — golden-trace differential verification.
+
+The paper's sensing-to-action loops are co-designed across layers
+(masking, quantization, parallel execution, caching, federated
+aggregation), which is exactly where per-module unit tests go blind: a
+cached R-MAE that restores slightly different weights, a pooled
+federated round that merges clients out of order, or a quantized rollout
+that drifts past its error budget all pass shape-level checks while the
+end-to-end loop silently degrades.
+
+This package closes that gap with *golden traces*:
+
+* :mod:`~repro.testkit.golden` — deterministic trace recording and
+  content-hashed JSONL golden files under ``tests/goldens/``;
+* :mod:`~repro.testkit.tolerance` — per-field absolute/relative
+  tolerance specs and the nested trace-diff engine;
+* :mod:`~repro.testkit.scenarios` — one fully seeded end-to-end
+  scenario per paper pillar (R-MAE reconstruct→detect, Koopman LQR
+  rollout, STARNet monitoring under corruption, SNN optical flow,
+  federated rounds);
+* :mod:`~repro.testkit.verify` — the differential runners
+  (serial-vs-golden, serial-vs-pooled, cache-hit-vs-fresh,
+  float-vs-quantized) behind the ``repro verify`` CLI subcommand.
+"""
+
+from .golden import (
+    GoldenError,
+    GoldenIntegrityError,
+    Trace,
+    TraceRecorder,
+    compare_traces,
+    default_goldens_dir,
+    golden_path,
+    read_golden,
+    summarize_value,
+    tensor_summary,
+    write_golden,
+)
+from .scenarios import (
+    QUANT_BITS,
+    SCENARIOS,
+    VARIANTS,
+    run_scenario,
+    run_scenario_task,
+    scenario_names,
+)
+from .tolerance import (
+    EXACT,
+    FieldTolerance,
+    Mismatch,
+    ToleranceSpec,
+    diff_payload,
+)
+from .verify import (
+    CACHED_SCENARIOS,
+    CHECKS,
+    CheckResult,
+    VerifyReport,
+    main_verify,
+    run_verify,
+)
+
+__all__ = [
+    "GoldenError", "GoldenIntegrityError", "Trace", "TraceRecorder",
+    "compare_traces", "default_goldens_dir", "golden_path", "read_golden",
+    "summarize_value", "tensor_summary", "write_golden",
+    "QUANT_BITS", "SCENARIOS", "VARIANTS", "run_scenario",
+    "run_scenario_task", "scenario_names",
+    "EXACT", "FieldTolerance", "Mismatch", "ToleranceSpec", "diff_payload",
+    "CACHED_SCENARIOS", "CHECKS", "CheckResult", "VerifyReport",
+    "main_verify", "run_verify",
+]

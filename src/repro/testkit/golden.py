@@ -1,0 +1,250 @@
+"""Golden-trace files: canonical payloads, content-hashed JSONL IO.
+
+A trace is a list of ``(step, payload)`` records produced by one seeded
+scenario run.  Payloads are canonicalized to a JSON-stable form —
+numpy scalars unwrapped, arrays replaced by *tensor summaries* (shape,
+dtype, SHA-256 of the raw bytes, and a few summary statistics) — so a
+trace is small enough to commit yet strong enough to witness
+bit-identity.
+
+On disk (``tests/goldens/<scenario>.jsonl``) a golden is JSONL:
+
+* line 1 — a header with the scenario name, format version, the
+  scenario's tolerance spec, and a SHA-256 over all record lines;
+* each further line — one record, serialized with sorted keys and
+  fixed separators.
+
+Serialization is deterministic (``repr``-based shortest-round-trip
+floats, sorted keys, no wall-clock fields), so re-recording an
+unchanged scenario regenerates the file byte-identically on the same
+platform; the embedded content hash turns hand-edits and truncations
+into loud integrity errors instead of silent drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .tolerance import Mismatch, ToleranceSpec, diff_payload
+
+__all__ = ["GoldenError", "GoldenIntegrityError", "Trace", "TraceRecorder",
+           "summarize_value", "tensor_summary", "write_golden",
+           "read_golden", "golden_path", "default_goldens_dir",
+           "compare_traces"]
+
+FORMAT_VERSION = 1
+GOLDENS_DIR_ENV = "REPRO_GOLDENS_DIR"
+
+
+class GoldenError(RuntimeError):
+    """A golden file is missing or malformed."""
+
+
+class GoldenIntegrityError(GoldenError):
+    """A golden file's content hash does not match its records."""
+
+
+# ------------------------------------------------------- canonicalization
+def tensor_summary(array: np.ndarray) -> Dict[str, Any]:
+    """Content-hashed summary of one ndarray.
+
+    The SHA-256 covers dtype, shape, and the C-contiguous raw bytes, so
+    equal hashes mean bit-identical tensors.  The summary statistics
+    make the tensor comparable under drift tolerances, where the hash
+    is expected to change.
+    """
+    arr = np.ascontiguousarray(array)
+    h = hashlib.sha256()
+    h.update(f"{arr.dtype.str}|{arr.shape}|".encode())
+    h.update(arr.tobytes())
+    out: Dict[str, Any] = {
+        "__tensor__": True,
+        "shape": list(arr.shape),
+        "dtype": arr.dtype.str,
+        "sha256": h.hexdigest(),
+    }
+    if arr.size and np.issubdtype(arr.dtype, np.number):
+        flat = arr.astype(np.float64, copy=False)
+        out.update({
+            "mean": float(flat.mean()),
+            "std": float(flat.std()),
+            "min": float(flat.min()),
+            "max": float(flat.max()),
+            "l2": float(np.sqrt((flat.astype(np.float64) ** 2).sum())),
+        })
+    return out
+
+
+def summarize_value(value: Any) -> Any:
+    """Recursively canonicalize a payload value to JSON-stable form."""
+    if isinstance(value, np.ndarray):
+        return tensor_summary(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): summarize_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [summarize_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot record {type(value).__name__} in a golden trace; "
+        "convert it to scalars, strings, lists, dicts, or ndarrays")
+
+
+# ------------------------------------------------------------------ trace
+@dataclass
+class Trace:
+    """One scenario run: named records plus the scenario's tolerances."""
+
+    scenario: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    tolerances: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def spec(self) -> ToleranceSpec:
+        return ToleranceSpec.from_dict(self.tolerances)
+
+    def steps(self) -> List[str]:
+        return [r["step"] for r in self.records]
+
+    def record_lines(self) -> List[str]:
+        return [json.dumps(r, sort_keys=True, separators=(",", ":"))
+                for r in self.records]
+
+    def content_sha256(self) -> str:
+        h = hashlib.sha256()
+        for line in self.record_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+class TraceRecorder:
+    """Append-only builder scenarios use: ``rec.add("step", loss=...)``."""
+
+    def __init__(self, scenario: str,
+                 tolerances: Optional[Dict[str, Dict[str, Any]]] = None):
+        self.trace = Trace(scenario=scenario,
+                           tolerances=dict(tolerances or {}))
+
+    def add(self, step: str, **payload: Any) -> None:
+        self.trace.records.append({
+            "step": step,
+            "payload": {k: summarize_value(v)
+                        for k, v in sorted(payload.items())},
+        })
+
+
+# -------------------------------------------------------------------- IO
+def default_goldens_dir() -> str:
+    """``tests/goldens`` of this checkout (or ``$REPRO_GOLDENS_DIR``)."""
+    env = os.environ.get(GOLDENS_DIR_ENV, "").strip()
+    if env:
+        return env
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(repo_root, "tests", "goldens")
+
+
+def golden_path(scenario: str, goldens_dir: Optional[str] = None) -> str:
+    return os.path.join(goldens_dir or default_goldens_dir(),
+                        f"{scenario}.jsonl")
+
+
+def write_golden(trace: Trace, goldens_dir: Optional[str] = None) -> str:
+    """Serialize one trace as a content-hashed JSONL golden; returns path."""
+    directory = goldens_dir or default_goldens_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = golden_path(trace.scenario, directory)
+    header = json.dumps({
+        "kind": "golden-header",
+        "scenario": trace.scenario,
+        "format_version": FORMAT_VERSION,
+        "n_records": len(trace.records),
+        "tolerances": trace.tolerances,
+        "content_sha256": trace.content_sha256(),
+    }, sort_keys=True, separators=(",", ":"))
+    with open(path, "w") as f:
+        f.write(header + "\n")
+        for line in trace.record_lines():
+            f.write(line + "\n")
+    return path
+
+
+def read_golden(scenario: str, goldens_dir: Optional[str] = None) -> Trace:
+    """Load and integrity-check one golden trace."""
+    path = golden_path(scenario, goldens_dir)
+    if not os.path.exists(path):
+        raise GoldenError(
+            f"no golden for scenario {scenario!r} at {path}; run "
+            "`repro verify --update-goldens` to record it")
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f if line.strip()]
+    if not lines:
+        raise GoldenError(f"golden {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise GoldenError(f"golden {path} has an unparsable header: {exc}")
+    if header.get("kind") != "golden-header":
+        raise GoldenError(f"golden {path} does not start with a header line")
+    if header.get("format_version") != FORMAT_VERSION:
+        raise GoldenError(
+            f"golden {path} has format_version "
+            f"{header.get('format_version')}; this build expects "
+            f"{FORMAT_VERSION} — re-record with --update-goldens")
+    records = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise GoldenError(f"golden {path} line {i} unparsable: {exc}")
+    trace = Trace(scenario=header.get("scenario", scenario),
+                  records=records,
+                  tolerances=header.get("tolerances", {}))
+    if len(records) != header.get("n_records"):
+        raise GoldenIntegrityError(
+            f"golden {path} declares {header.get('n_records')} records "
+            f"but contains {len(records)}")
+    actual_hash = trace.content_sha256()
+    if actual_hash != header.get("content_sha256"):
+        raise GoldenIntegrityError(
+            f"golden {path} content hash mismatch "
+            f"(declared {header.get('content_sha256')}, actual "
+            f"{actual_hash}) — the file was edited or truncated; "
+            "re-record with --update-goldens")
+    return trace
+
+
+# ------------------------------------------------------------ comparison
+def compare_traces(golden: Trace, actual: Trace,
+                   mode: str = "exact") -> List[Mismatch]:
+    """Diff two traces record by record.
+
+    ``mode="exact"`` requires bit-identity everywhere;
+    ``mode="tolerance"`` applies the *golden* trace's tolerance spec
+    (unmatched fields stay exact).
+    """
+    if mode not in ("exact", "tolerance"):
+        raise ValueError(f"unknown comparison mode {mode!r}")
+    spec = golden.spec() if mode == "tolerance" else None
+    mismatches: List[Mismatch] = []
+    if golden.steps() != actual.steps():
+        mismatches.append(Mismatch(
+            "<steps>", "structure", golden.steps(), actual.steps(),
+            detail="record sequence differs"))
+        return mismatches
+    for g, a in zip(golden.records, actual.records):
+        diff_payload(g["payload"], a["payload"], spec,
+                     path=g["step"], out=mismatches)
+    return mismatches

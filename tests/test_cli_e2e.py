@@ -1,0 +1,131 @@
+"""Subprocess-level CLI end-to-end tests.
+
+``tests/test_cli_fusion.py`` exercises ``repro.cli.main`` in-process;
+these tests instead spawn ``python -m repro ...`` the way CI and users
+do, pinning *process* exit codes, stdout JSON shapes, and environment
+handling (``REPRO_CACHE_DIR``) that in-process calls cannot witness.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _repro(*args, env_extra=None, timeout=180):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=timeout)
+
+
+# ------------------------------------------------------------------- list
+def test_list_exit_code_and_inventory():
+    proc = _repro("list")
+    assert proc.returncode == 0
+    for token in ("demos:", "experiments:", "benches:", "quickstart",
+                  "table2"):
+        assert token in proc.stdout
+
+
+# ------------------------------------------------------------------- demo
+def test_demo_quickstart_succeeds():
+    proc = _repro("demo", "quickstart", env_extra={"REPRO_CACHE": "0"})
+    assert proc.returncode == 0
+
+
+def test_demo_unknown_exits_nonzero():
+    proc = _repro("demo", "not-a-demo")
+    assert proc.returncode == 2
+
+
+# ---------------------------------------------------------------- profile
+def test_profile_demo_json_artifact(tmp_path):
+    out = tmp_path / "trace.json"
+    proc = _repro("profile", "demo", "--cycles", "10",
+                  "--out", str(out))
+    assert proc.returncode == 0
+    payload = json.loads(out.read_text())
+    assert payload["target"] == "demo"
+    assert set(payload["metrics"]) == {"counters", "gauges", "histograms"}
+    assert payload["metrics"]["counters"]  # the loop counted something
+    assert isinstance(payload["spans"], list) and payload["spans"]
+
+
+def test_profile_unknown_target_exits_nonzero():
+    proc = _repro("profile", "not-a-target")
+    assert proc.returncode == 2
+    assert "unknown profile target" in proc.stderr
+
+
+# ------------------------------------------------------------------ cache
+def test_cache_info_clear_roundtrip(tmp_path):
+    env = {"REPRO_CACHE_DIR": str(tmp_path / "cache")}
+
+    proc = _repro("cache", "info", "--json", env_extra=env)
+    assert proc.returncode == 0
+    info = json.loads(proc.stdout)
+    assert set(info) >= {"root", "entries", "total_bytes", "by_kind",
+                         "files", "enabled"}
+    assert info["entries"] == 0
+
+    # Populate the cache through a real memoized code path.
+    script = ("from repro.runtime import cached_build; "
+              "print(cached_build('e2e', {'k': 1}, lambda: 41 + 1))")
+    run = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+             **env})
+    assert run.returncode == 0 and run.stdout.strip() == "42"
+
+    info = json.loads(_repro("cache", "info", "--json",
+                             env_extra=env).stdout)
+    assert info["entries"] == 1
+    assert info["by_kind"] == {"e2e": 1}
+
+    proc = _repro("cache", "clear", env_extra=env)
+    assert proc.returncode == 0
+    assert "removed 1" in proc.stdout
+
+    info = json.loads(_repro("cache", "info", "--json",
+                             env_extra=env).stdout)
+    assert info["entries"] == 0
+
+
+# ----------------------------------------------------------------- verify
+def test_verify_single_scenario_json_report(tmp_path):
+    """Record then verify one scenario against a private goldens dir,
+    checking the report covers every differential."""
+    goldens = tmp_path / "goldens"
+    record = _repro("verify", "koopman_lqr", "--update-goldens",
+                    "--goldens-dir", str(goldens), "--workers", "2")
+    assert record.returncode == 0, record.stdout + record.stderr
+    assert (goldens / "koopman_lqr.jsonl").exists()
+
+    proc = _repro("verify", "koopman_lqr", "--goldens-dir", str(goldens),
+                  "--workers", "2", "--json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["ok"] is True
+    checks = {(r["scenario"], r["check"], r["status"])
+              for r in report["results"]}
+    assert checks == {("koopman_lqr", c, "pass")
+                      for c in ("serial", "pooled", "cache", "quantized")}
+
+
+def test_verify_unknown_scenario_exits_nonzero():
+    proc = _repro("verify", "not-a-scenario")
+    assert proc.returncode == 2
+    assert "unknown scenario" in proc.stderr
+
+
+def test_verify_missing_golden_fails(tmp_path):
+    proc = _repro("verify", "snn_flow", "--goldens-dir",
+                  str(tmp_path / "empty"), "--skip",
+                  "pooled,cache,quantized")
+    assert proc.returncode == 1

@@ -31,6 +31,7 @@ from repro.koopman import (
 )
 from repro.multiagent import compare_swarm_strategies
 from repro.neuromorphic import DOTIE, build_flow_model, evaluate_aee, train_flow_model
+from repro.runtime import WorkerPool
 from repro.sim import (
     LidarConfig,
     LidarScanner,
@@ -250,7 +251,7 @@ def test_dotie_on_simulated_fast_object():
     assert abs(cy - 13.5) < 4  # tracks the object's row band
 
 
-def test_federated_pipeline_with_heterogeneity():
+def test_federated_pipeline_with_heterogeneity(monkeypatch):
     ds = make_synthetic_cifar(n_per_class=24, seed=25)
     train, test = ds.split(0.25, np.random.default_rng(26))
     shards = shard_dirichlet(train, 5, alpha=0.5,
@@ -260,7 +261,11 @@ def test_federated_pipeline_with_heterogeneity():
                for i, (s, p) in enumerate(zip(shards, fleet))]
     srv = FLServer(clients, test, hidden=24, mode="dcnas+halo",
                    rng=np.random.default_rng(29))
-    srv.run(8)
+    # Route every round through the parallel client path so the pooled
+    # run_round gets integration (not just unit) coverage.
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    with WorkerPool() as pool:
+        srv.run(8, pool=pool)
     totals = srv.totals()
     assert totals["final_accuracy"] > 0.3
     # Adaptations actually engaged somewhere in the fleet.

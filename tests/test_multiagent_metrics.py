@@ -144,9 +144,15 @@ def test_roc_auc_ties_midrank():
     assert roc_auc([0.5, 0.5, 0.5, 0.5], [0, 1, 0, 1]) == pytest.approx(0.5)
 
 
-def test_roc_auc_validation():
+def test_roc_auc_degenerate_single_class_is_chance_level():
+    # No negatives (or no positives): no separation evidence, defined 0.5.
+    assert roc_auc([0.5, 0.6], [1, 1]) == 0.5
+    assert roc_auc([0.5, 0.6], [0, 0]) == 0.5
+
+
+def test_roc_auc_shape_mismatch_rejected():
     with pytest.raises(ValueError):
-        roc_auc([0.5, 0.6], [1, 1])  # no negatives
+        roc_auc([0.5, 0.6, 0.7], [1, 0])
 
 
 def test_roc_curve_endpoints():
