@@ -5,12 +5,15 @@ claims against the committed ``benchmarks/results/*.json`` baselines.
 Absolute numbers from the simulated substrates may drift with numpy or
 seed changes; what must not drift silently is the paper's qualitative
 shape — who wins, by roughly what factor, where the ordering falls.
-Three fast benches cover three pillars:
+Four fast benches cover four pillars:
 
 * ``fig1_loop_adaptation`` — adaptive loop saves energy at matched
   recall; event-driven compute beats clocked by >10x;
 * ``starnet_auc``          — every corruption family stays detectable;
-* ``fig5a_model_macs``     — the analytic MAC ordering is bit-exact.
+* ``fig5a_model_macs``     — the analytic MAC ordering is bit-exact;
+* ``kernel_hotpaths``      — the vectorized kernel backend stays a
+  clear wall-clock win over the reference one and numerically
+  equivalent to it.
 
 Checks come in two severities.  **Blocking** checks guard shape-level
 claims (who wins, orderings, detectability floors) and fail the gate.
@@ -143,10 +146,46 @@ def check_fig5a() -> None:
           else f"totals drifted for {sorted(drift)}")
 
 
+def check_kernel_hotpaths() -> None:
+    from bench_kernel_hotpaths import run_kernel_hotpaths
+
+    print("kernel_hotpaths:")
+    base = load_baseline("bench_kernel_hotpaths")
+    now = run_kernel_hotpaths()
+
+    # Shape claim 1: the kernel registry still covers the same hot paths.
+    check("same-kernel-set",
+          set(now["kernels"]) == set(base["kernels"]),
+          f"kernels {sorted(now['kernels'])}")
+
+    # Shape claim 2: vectorization is still a clear win somewhere.  The
+    # per-kernel factors are wall clock and jitter with the host, so
+    # only the best one is blocking (with a floor well under the
+    # committed baseline's headline speedup).
+    best = max(r["speedup"] for r in now["kernels"].values())
+    check("vectorized-wins", best >= 2.0,
+          f"best speedup {best:.2f}x (floor 2.0x)")
+
+    for name in sorted(base["kernels"]):
+        if name not in now["kernels"]:
+            continue
+        r = now["kernels"][name]
+        # Shape claim 3: the backends stay numerically equivalent at
+        # scenario-sized inputs (last-ulp drift only).
+        check(f"equivalent-{name}", r["max_abs_diff"] < 1e-6,
+              f"max |diff| {r['max_abs_diff']:.2e}")
+        # Wall-clock drift against the stored baseline is warning-only.
+        check(f"no-slowdown-{name}", r["speedup"] >= 1.0,
+              f"{r['speedup']:.2f}x vs baseline "
+              f"{base['kernels'][name]['speedup']:.2f}x",
+              blocking=False)
+
+
 def main() -> int:
     print("benchmark regression gate "
           "(shape-level diffs vs benchmarks/results/)")
-    for fn in (check_fig1, check_starnet_auc, check_fig5a):
+    for fn in (check_fig1, check_starnet_auc, check_fig5a,
+               check_kernel_hotpaths):
         try:
             fn()
         except Exception as exc:  # harness failure, not a regression

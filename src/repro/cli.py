@@ -354,6 +354,9 @@ def main(argv=None) -> int:
                             "results are bit-identical for any value")
     bench.add_argument("--out", default="",
                        help="write aggregated results JSON here")
+    bench.add_argument("--micro", action="store_true",
+                       help="include the kernel micro-benchmarks (alone "
+                            "when no names are given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names and exit")
     cache = sub.add_parser(
@@ -366,7 +369,7 @@ def main(argv=None) -> int:
     verify = sub.add_parser(
         "verify",
         help="golden-trace differential verification (serial / pooled / "
-             "cached / quantized) against tests/goldens/")
+             "cached / quantized / kernels) against tests/goldens/")
     verify.add_argument("scenarios", nargs="*",
                         help="scenario names (default: all five pillars)")
     verify.add_argument("--update-goldens", action="store_true",
@@ -385,7 +388,7 @@ def main(argv=None) -> int:
                         help="emit the report as JSON on stdout")
     verify.add_argument("--skip", default="",
                         help="comma-separated checks to skip "
-                             "(serial,pooled,cache,quantized)")
+                             "(serial,pooled,cache,quantized,kernels)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -414,12 +417,18 @@ def main(argv=None) -> int:
         return _run_profile(args.target, args.out, args.jsonl, args.cycles)
     if args.command == "bench":
         if args.help_names:
-            from repro.runtime import BENCHES, DEFAULT_BENCHES
+            from repro.runtime import BENCHES, DEFAULT_BENCHES, MICRO_BENCHES
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
+                if name in MICRO_BENCHES:
+                    tag = "  [micro]"
                 print(f"{name}{tag}")
             return 0
-        return _run_bench(args.names, args.workers, args.out)
+        names = list(args.names)
+        if args.micro:
+            from repro.runtime import MICRO_BENCHES
+            names.extend(n for n in MICRO_BENCHES if n not in names)
+        return _run_bench(names, args.workers, args.out)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

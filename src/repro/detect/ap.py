@@ -13,6 +13,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import get_kernel, kernel_timer
+
 __all__ = ["Detection", "compute_ap", "evaluate_class", "MATCH_DISTANCE_M"]
 
 # Class-specific centre-distance match thresholds (metres).  Larger
@@ -43,25 +45,13 @@ def _match_scene(preds: List[Detection], gts: np.ndarray,
     """Greedy per-scene matching.
 
     Returns (score, is_true_positive) per prediction, highest-score
-    first; each ground truth may be claimed once.
+    first; each ground truth may be claimed once.  Dispatched through
+    the ``bev_match`` kernel pair (per-GT Python scan vs one broadcast
+    distance matrix); both backends are exactly equivalent because
+    ``np.hypot`` is an elementwise ufunc.
     """
-    order = sorted(preds, key=lambda d: -d.score)
-    claimed = np.zeros(len(gts), dtype=bool)
-    results: List[Tuple[float, bool]] = []
-    for det in order:
-        best_idx, best_dist = -1, max_dist
-        for gi in range(len(gts)):
-            if claimed[gi]:
-                continue
-            dist = float(np.hypot(det.x - gts[gi, 0], det.y - gts[gi, 1]))
-            if dist <= best_dist:
-                best_idx, best_dist = gi, dist
-        if best_idx >= 0:
-            claimed[best_idx] = True
-            results.append((det.score, True))
-        else:
-            results.append((det.score, False))
-    return results
+    with kernel_timer("bev_match", "match_scene"):
+        return get_kernel("bev_match").match_scene(preds, gts, max_dist)
 
 
 def compute_ap(matches: Sequence[Tuple[float, bool]],

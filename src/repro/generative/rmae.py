@@ -23,7 +23,8 @@ from ..nn.layers import BatchNorm, Conv2d, ConvTranspose2d, Module, ReLU
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam
 from ..nn.sequential import Sequential
-from ..nn.sparse3d import SparseConv3d, SparseReLU, SparseSequential, SparseVoxelTensor
+from ..nn.sparse3d import (SparseConv3d, SparseGrad, SparseReLU,
+                           SparseSequential, SparseVoxelTensor)
 from ..obs.registry import get_registry
 from ..voxel.grid import VoxelGridConfig, VoxelizedCloud
 from ..voxel.masking import RadialMaskConfig, radial_mask
@@ -113,10 +114,26 @@ class RMAE(Module):
         return self.encoder.forward(sparse_in)
 
     def bev_scatter(self, sparse: SparseVoxelTensor) -> np.ndarray:
-        """Mean-scatter sparse voxel features into a BEV map (1, C, H, W)."""
+        """Mean-scatter sparse voxel features into a BEV map (1, C, H, W).
+
+        Packed tensors (the vectorized sparse-conv output) take a
+        bincount/``np.add.at`` path; dict tensors keep the original
+        per-voxel loop, so the reference kernel backend reproduces the
+        golden traces bit-for-bit.
+        """
         ds = self.config.bev_downsample
         h, w = self.grid.nx // ds, self.grid.ny // ds
         c = sparse.channels
+        if sparse.is_packed:
+            coords, mat = sparse.packed()
+            cell_id = (coords[:, 0] // ds) * w + coords[:, 1] // ds
+            acc = np.zeros((h * w, c))
+            np.add.at(acc, cell_id, mat)
+            counts_flat = np.bincount(cell_id, minlength=h * w)
+            nz = counts_flat > 0
+            acc[nz] /= counts_flat[nz][:, None]
+            self._bev_cache = ("packed", coords, cell_id, counts_flat)
+            return acc.T.reshape(1, c, h, w)
         bev = np.zeros((c, h, w))
         counts = np.zeros((h, w))
         cells: Dict[Tuple[int, int], List] = {}
@@ -127,12 +144,18 @@ class RMAE(Module):
             cells.setdefault(cell, []).append((i, j, k))
         nz = counts > 0
         bev[:, nz] /= counts[nz]
-        self._bev_cache = (cells, counts, sparse)
+        self._bev_cache = ("dict", cells, counts, sparse)
         return bev[None, :, :, :]
 
-    def bev_scatter_backward(self, grad_bev: np.ndarray) -> Dict:
+    def bev_scatter_backward(self, grad_bev: np.ndarray):
         """Route BEV gradients back to the sparse voxels that fed them."""
-        cells, counts, sparse = self._bev_cache
+        if self._bev_cache[0] == "packed":
+            _, coords, cell_id, counts_flat = self._bev_cache
+            c = grad_bev.shape[1]
+            g = grad_bev[0].reshape(c, -1).T
+            rows = g[cell_id] / counts_flat[cell_id][:, None]
+            return SparseGrad(coords, rows)
+        _, cells, counts, sparse = self._bev_cache
         grad: Dict[Tuple[int, int, int], np.ndarray] = {}
         g = grad_bev[0]
         for cell, coords in cells.items():

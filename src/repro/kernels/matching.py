@@ -1,0 +1,84 @@
+"""BEV detection matching kernels (greedy centre-distance assignment).
+
+Reference: the original O(P*G) Python scan from ``repro.detect.ap``.
+
+Vectorized: one broadcast ``np.hypot`` builds the full prediction/GT
+distance matrix, then the greedy claim loop runs on boolean masks.
+``np.hypot`` is an elementwise ufunc, so every matrix entry is
+bit-identical to the reference's scalar call — including the tie-break
+(the reference's running ``dist <= best_dist`` scan means the LAST
+ground truth among equal minima wins, reproduced here with the final
+index of the argmin set).  This kernel is therefore verified EXACTLY,
+not under tolerance.
+
+Predictions are duck-typed (``.x``/``.y``/``.score``), so this module
+needs no import of ``repro.detect``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from . import register_kernel
+
+
+class ReferenceBEVMatch:
+    """Original per-prediction, per-GT scan (seed op order)."""
+
+    def match_scene(self, preds, gts: np.ndarray,
+                    max_dist: float) -> List[Tuple[float, bool]]:
+        order = sorted(preds, key=lambda d: -d.score)
+        claimed = np.zeros(len(gts), dtype=bool)
+        results: List[Tuple[float, bool]] = []
+        for det in order:
+            best_idx, best_dist = -1, max_dist
+            for gi in range(len(gts)):
+                if claimed[gi]:
+                    continue
+                dist = float(np.hypot(det.x - gts[gi, 0],
+                                      det.y - gts[gi, 1]))
+                if dist <= best_dist:
+                    best_idx, best_dist = gi, dist
+            if best_idx >= 0:
+                claimed[best_idx] = True
+                results.append((det.score, True))
+            else:
+                results.append((det.score, False))
+        return results
+
+
+class VectorizedBEVMatch:
+    """Broadcast distance matrix + masked greedy claim loop."""
+
+    def match_scene(self, preds, gts: np.ndarray,
+                    max_dist: float) -> List[Tuple[float, bool]]:
+        order = sorted(preds, key=lambda d: -d.score)
+        n_gt = len(gts)
+        if not order:
+            return []
+        if n_gt == 0:
+            return [(det.score, False) for det in order]
+        px = np.array([det.x for det in order], dtype=np.float64)
+        py = np.array([det.y for det in order], dtype=np.float64)
+        dmat = np.hypot(px[:, None] - gts[None, :, 0],
+                        py[:, None] - gts[None, :, 1])
+        claimed = np.zeros(n_gt, dtype=bool)
+        results: List[Tuple[float, bool]] = []
+        for i, det in enumerate(order):
+            d = dmat[i]
+            elig = ~claimed & (d <= max_dist)
+            if elig.any():
+                dmin = d[elig].min()
+                # Reference tie-break: last index among equal minima.
+                gi = int(np.nonzero(elig & (d == dmin))[0][-1])
+                claimed[gi] = True
+                results.append((det.score, True))
+            else:
+                results.append((det.score, False))
+        return results
+
+
+register_kernel("bev_match", "reference", ReferenceBEVMatch())
+register_kernel("bev_match", "vectorized", VectorizedBEVMatch())

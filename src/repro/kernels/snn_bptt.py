@@ -1,0 +1,174 @@
+"""SNN surrogate-BPTT kernels (LIF dynamics over T timesteps).
+
+Reference: the original per-timestep implementation from
+``repro.neuromorphic.snn`` — one small convolution forward (and one
+backward) per step, a second reverse pass for the learnable-dynamics
+grads.  Moved verbatim; bit-identical to the goldens.
+
+Vectorized: the Spike-FlowNet-style batched-time trick.  ``Conv2d`` is
+batch-generic, so the T per-step convolutions collapse into ONE call on
+a ``(T*N, C, H, W)`` fold — one im2col and one GEMM instead of T.  The
+LIF scan itself stays a loop over T (the reset makes it sequential) but
+its body is pure fused array ops, and the backward conv is likewise a
+single batched call on the stacked pre-activation grads.  The
+learnable-dynamics sums fold into the main reverse sweep instead of a
+second pass.  GEMM re-association means last-ulp drift vs the
+reference; covered by the verify tolerance specs.
+
+Both backends set ``layer.last_membrane`` / ``layer._cache`` and return
+``(spikes, d_leak, d_thr)`` from backward with the *raw* dynamics grads;
+the sigmoid/softplus chain rules stay in ``SpikingConv2d``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import register_kernel
+
+
+class ReferenceSNNBPTT:
+    """Original per-timestep conv + second dynamics pass (seed op order)."""
+
+    def forward(self, layer, x: np.ndarray) -> np.ndarray:
+        t_steps = x.shape[0]
+        leak, thr = layer.leak(), layer.threshold()
+        v = None
+        spikes_out: List[np.ndarray] = []
+        caches: List[tuple] = []
+        for t in range(t_steps):
+            current = layer.conv.forward(x[t])
+            conv_cache = layer.conv._cache
+            if v is None:
+                v = np.zeros_like(current)
+            v_pre = leak * v + current
+            s = (v_pre > thr).astype(np.float64)
+            v = v_pre - thr * s
+            spikes_out.append(s)
+            caches.append((conv_cache, v_pre, s))
+        layer.last_membrane = v
+        layer._cache = ("reference", x.shape, caches, leak, thr)
+        return np.stack(spikes_out)
+
+    def backward(self, layer, grad: np.ndarray,
+                 grad_membrane: Optional[np.ndarray]):
+        from ..neuromorphic.neurons import surrogate_gradient
+
+        _, x_shape, caches, leak, thr = layer._cache
+        t_steps = len(caches)
+        grad_in = np.zeros(x_shape)
+        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
+                   else grad_membrane.copy())
+        for t in range(t_steps - 1, -1, -1):
+            conv_cache, v_pre, s = caches[t]
+            sg = surrogate_gradient(v_pre, thr, layer.surrogate_width)
+            gs = grad[t]
+            # v[t] = v_pre - thr * s;  s = H(v_pre - thr)
+            # dL/dv_pre = dL/dv[t] * (1 - thr * sg) + dL/ds * sg
+            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
+            # Route through the conv at this timestep.
+            layer.conv._cache = conv_cache
+            grad_in[t] = layer.conv.backward(gv_pre)
+            # Temporal path to the previous membrane.
+            gv_next = gv_pre * leak
+
+        d_leak, d_thr = 0.0, 0.0
+        if layer.learnable_dynamics:
+            d_leak, d_thr = self._dynamics_grads(layer, grad, grad_membrane)
+        return grad_in, d_leak, d_thr
+
+    def _dynamics_grads(self, layer, grad: np.ndarray,
+                        grad_membrane: Optional[np.ndarray]):
+        """dL/dleak and dL/dthreshold by reverse accumulation.
+
+        Reuses the cached per-step pre-reset potentials; membrane values
+        v[t] are reconstructed as v_pre[t] - thr * s[t].
+        """
+        from ..neuromorphic.neurons import surrogate_gradient
+
+        _, _, caches, leak, thr = layer._cache
+        t_steps = len(caches)
+        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
+                   else grad_membrane.copy())
+        d_leak = 0.0
+        d_thr = 0.0
+        for t in range(t_steps - 1, -1, -1):
+            _, v_pre, s = caches[t]
+            sg = surrogate_gradient(v_pre, thr, layer.surrogate_width)
+            gs = grad[t]
+            # Explicit threshold dependence at this step: the reset term
+            # v[t] = v_pre - thr * s and the firing condition
+            # s = H(v_pre - thr) (whose surrogate derivative w.r.t. thr
+            # is -sg).
+            d_thr += float(np.sum(-gv_next * s) - np.sum(gs * sg)
+                           + np.sum(gv_next * thr * sg))
+            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
+            if t > 0:
+                _, v_pre_prev, s_prev = caches[t - 1]
+                v_prev = v_pre_prev - thr * s_prev
+                d_leak += float(np.sum(gv_pre * v_prev))
+            gv_next = gv_pre * leak
+        return d_leak, d_thr
+
+
+class VectorizedSNNBPTT:
+    """One batched conv over the (T*N) fold + fused LIF scan."""
+
+    def forward(self, layer, x: np.ndarray) -> np.ndarray:
+        t_steps, n = x.shape[0], x.shape[1]
+        leak, thr = layer.leak(), layer.threshold()
+        flat = layer.conv.forward(
+            x.reshape((t_steps * n,) + x.shape[2:]))
+        conv_cache = layer.conv._cache
+        cur = flat.reshape((t_steps, n) + flat.shape[1:])
+        v_pre_all = np.empty_like(cur)
+        spikes = np.empty_like(cur)
+        v = np.zeros_like(cur[0])
+        for t in range(t_steps):
+            v_pre = leak * v + cur[t]
+            s = (v_pre > thr).astype(np.float64)
+            v = v_pre - thr * s
+            v_pre_all[t] = v_pre
+            spikes[t] = s
+        layer.last_membrane = v
+        layer._cache = ("vectorized", x.shape, conv_cache, v_pre_all,
+                        spikes, leak, thr)
+        return spikes.copy()
+
+    def backward(self, layer, grad: np.ndarray,
+                 grad_membrane: Optional[np.ndarray]):
+        from ..neuromorphic.neurons import surrogate_gradient
+
+        (_, x_shape, conv_cache, v_pre_all, spikes, leak,
+         thr) = layer._cache
+        t_steps, n = x_shape[0], x_shape[1]
+        sg = surrogate_gradient(v_pre_all, thr, layer.surrogate_width)
+        gv_next = (np.zeros_like(v_pre_all[-1]) if grad_membrane is None
+                   else grad_membrane.copy())
+        gv_pre_all = np.empty_like(v_pre_all)
+        d_thr = 0.0
+        for t in range(t_steps - 1, -1, -1):
+            gs = grad[t]
+            if layer.learnable_dynamics:
+                d_thr += float(np.sum(-gv_next * spikes[t])
+                               - np.sum(gs * sg[t])
+                               + np.sum(gv_next * thr * sg[t]))
+            gv_pre = gv_next * (1.0 - thr * sg[t]) + gs * sg[t]
+            gv_pre_all[t] = gv_pre
+            gv_next = gv_pre * leak
+        d_leak = 0.0
+        if layer.learnable_dynamics and t_steps > 1:
+            # Sum over t >= 1 of gv_pre[t] * v[t-1], with the membrane
+            # reconstructed as v_pre - thr * s.
+            d_leak = float(np.sum(
+                gv_pre_all[1:] * (v_pre_all[:-1] - thr * spikes[:-1])))
+        layer.conv._cache = conv_cache
+        flat = layer.conv.backward(
+            gv_pre_all.reshape((t_steps * n,) + gv_pre_all.shape[2:]))
+        return flat.reshape(x_shape), d_leak, d_thr
+
+
+register_kernel("snn_bptt", "reference", ReferenceSNNBPTT())
+register_kernel("snn_bptt", "vectorized", VectorizedSNNBPTT())

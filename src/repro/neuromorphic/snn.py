@@ -12,14 +12,14 @@ parameters (Adaptive-SpikeNet); otherwise they are fixed constants
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
+from ..kernels import get_kernel, kernel_timer
 from ..nn.layers import Conv2d, Module
 from ..nn.tensor import Parameter
 from ..obs.registry import get_registry
-from .neurons import surrogate_gradient
 
 __all__ = ["SpikingConv2d", "spike_rate"]
 
@@ -79,26 +79,12 @@ class SpikingConv2d(Module):
 
     # ------------------------------------------------------------- forward
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """LIF unroll, dispatched through the ``snn_bptt`` kernel pair
+        (per-timestep reference loop vs one batched-time conv)."""
         if x.ndim != 5:
             raise ValueError("spiking input must be (T, N, C, H, W)")
-        t_steps = x.shape[0]
-        leak, thr = self.leak(), self.threshold()
-        v = None
-        spikes_out: List[np.ndarray] = []
-        caches: List[tuple] = []
-        for t in range(t_steps):
-            current = self.conv.forward(x[t])
-            conv_cache = self.conv._cache
-            if v is None:
-                v = np.zeros_like(current)
-            v_pre = leak * v + current
-            s = (v_pre > thr).astype(np.float64)
-            v = v_pre - thr * s
-            spikes_out.append(s)
-            caches.append((conv_cache, v_pre, s))
-        self.last_membrane = v
-        self._cache = (x.shape, caches, leak, thr)
-        out = np.stack(spikes_out)
+        with kernel_timer("snn_bptt", "forward"):
+            out = get_kernel("snn_bptt").forward(self, x)
         # Spike telemetry: counters feed the event-driven energy model
         # (repro.neuromorphic.energy.registry_snn_energy_pj).
         obs = get_registry()
@@ -117,59 +103,17 @@ class SpikingConv2d(Module):
         ``grad_membrane`` optionally adds a gradient on the *final*
         membrane potential (for potential-readout heads).
         """
-        x_shape, caches, leak, thr = self._cache
-        t_steps = len(caches)
-        grad_in = np.zeros(x_shape)
-        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
-                   else grad_membrane.copy())
-        for t in range(t_steps - 1, -1, -1):
-            conv_cache, v_pre, s = caches[t]
-            sg = surrogate_gradient(v_pre, thr, self.surrogate_width)
-            gs = grad[t]
-            # v[t] = v_pre - thr * s;  s = H(v_pre - thr)
-            # dL/dv_pre = dL/dv[t] * (1 - thr * sg) + dL/ds * sg
-            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
-            # Route through the conv at this timestep.
-            self.conv._cache = conv_cache
-            grad_in[t] = self.conv.backward(gv_pre)
-            # Temporal path to the previous membrane.
-            gv_next = gv_pre * leak
-
+        # The forward tagged its cache with the backend that produced
+        # it; the raw dynamics grads come back from the kernel and the
+        # reparameterization chain rules are applied here.
+        backend = self._cache[0]
+        with kernel_timer("snn_bptt", "backward"):
+            grad_in, d_leak, d_thr = get_kernel(
+                "snn_bptt", backend=backend).backward(self, grad,
+                                                      grad_membrane)
         if self.learnable_dynamics:
-            d_leak, d_thr = self._dynamics_grads(grad, grad_membrane)
             sig = 1.0 / (1.0 + np.exp(-self.leak_raw.data[0]))
             self.leak_raw.grad += d_leak * sig * (1 - sig)
             thr_sig = 1.0 / (1.0 + np.exp(-self.thr_raw.data[0]))
             self.thr_raw.grad += d_thr * thr_sig
         return grad_in
-
-    def _dynamics_grads(self, grad: np.ndarray,
-                        grad_membrane: Optional[np.ndarray]) -> Tuple[float, float]:
-        """dL/dleak and dL/dthreshold by reverse accumulation.
-
-        Reuses the cached per-step pre-reset potentials; membrane values
-        v[t] are reconstructed as v_pre[t] - thr * s[t].
-        """
-        _, caches, leak, thr = self._cache
-        t_steps = len(caches)
-        gv_next = (np.zeros_like(caches[-1][1]) if grad_membrane is None
-                   else grad_membrane.copy())
-        d_leak = 0.0
-        d_thr = 0.0
-        for t in range(t_steps - 1, -1, -1):
-            _, v_pre, s = caches[t]
-            sg = surrogate_gradient(v_pre, thr, self.surrogate_width)
-            gs = grad[t]
-            # Explicit threshold dependence at this step: the reset term
-            # v[t] = v_pre - thr * s and the firing condition
-            # s = H(v_pre - thr) (whose surrogate derivative w.r.t. thr
-            # is -sg).
-            d_thr += float(np.sum(-gv_next * s) - np.sum(gs * sg)
-                           + np.sum(gv_next * thr * sg))
-            gv_pre = gv_next * (1.0 - thr * sg) + gs * sg
-            if t > 0:
-                _, v_pre_prev, s_prev = caches[t - 1]
-                v_prev = v_pre_prev - thr * s_prev
-                d_leak += float(np.sum(gv_pre * v_prev))
-            gv_next = gv_pre * leak
-        return d_leak, d_thr

@@ -6,18 +6,34 @@ voxel tensor as a mapping ``(i, j, k) -> feature vector`` and implement
 submanifold convolution: outputs exist only at input-active sites, so
 sparsity is preserved through the network (the defining property of
 spconv-style encoders).
+
+The numerical work is dispatched through :mod:`repro.kernels`:
+``REPRO_KERNELS=reference`` runs the original per-voxel dict loops,
+``vectorized`` (the default) runs a sorted-coordinate neighbor index
+with dense gather/scatter over ``(n_active,)`` index arrays.  To make
+the vectorized path allocation-free between layers,
+:class:`SparseVoxelTensor` holds features in one of two equivalent
+representations — the coordinate dict, or a packed ``(coords, matrix)``
+pair — and converts lazily.  Reading :attr:`features` on a packed
+tensor materializes the dict (and makes it authoritative from then on);
+:meth:`packed` on a dict tensor re-packs on every call, because callers
+(gradcheck, tests) mutate the dict's arrays in place between forwards.
+Adding or removing active sites after a neighbor index has been cached
+on the tensor is not supported.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import get_kernel, kernel_timer
 from .layers import Module
 from .tensor import Parameter, he_normal, zeros_init
 
-__all__ = ["SparseVoxelTensor", "SparseConv3d", "SparseReLU",
+__all__ = ["SparseVoxelTensor", "SparseGrad", "SparseConv3d", "SparseReLU",
            "SparseGlobalPool", "SparseSequential"]
 
 Coord = Tuple[int, int, int]
@@ -26,11 +42,23 @@ Coord = Tuple[int, int, int]
 class SparseVoxelTensor:
     """Features attached to a sparse set of integer voxel coordinates."""
 
-    def __init__(self, features: Dict[Coord, np.ndarray], channels: int,
-                 grid_shape: Tuple[int, int, int]):
-        self.features = features
+    def __init__(self, features: Optional[Dict[Coord, np.ndarray]],
+                 channels: int, grid_shape: Tuple[int, int, int], *,
+                 coords: Optional[np.ndarray] = None,
+                 matrix: Optional[np.ndarray] = None,
+                 index_cache: Optional[dict] = None):
+        if features is None and (coords is None or matrix is None):
+            raise ValueError("need a feature dict or a packed "
+                             "(coords, matrix) pair")
+        self._features = features
         self.channels = channels
         self.grid_shape = grid_shape
+        self._coords = coords
+        self._matrix = matrix
+        # (kernel, stride) -> neighbor index, shared across the layers
+        # of a submanifold stack (the active set does not change).
+        self._index_cache: dict = index_cache if index_cache is not None \
+            else {}
 
     @staticmethod
     def from_coords(coords: Sequence[Coord], channels: int,
@@ -46,26 +74,97 @@ class SparseVoxelTensor:
         return SparseVoxelTensor(feats, channels, grid_shape)
 
     @property
+    def is_packed(self) -> bool:
+        """True while the packed (coords, matrix) pair is authoritative."""
+        return self._features is None
+
+    @property
+    def features(self) -> Dict[Coord, np.ndarray]:
+        if self._features is None:
+            feats: Dict[Coord, np.ndarray] = {}
+            for i in range(self._coords.shape[0]):
+                c = self._coords[i]
+                feats[(int(c[0]), int(c[1]), int(c[2]))] = self._matrix[i]
+            # The dict rows alias the matrix until now; hand ownership to
+            # the dict so later in-place mutation cannot desynchronize
+            # the two representations.
+            self._features = feats
+            self._coords = None
+            self._matrix = None
+            self._index_cache = {}
+        return self._features
+
+    @property
     def num_active(self) -> int:
-        return len(self.features)
+        if self._features is None:
+            return self._coords.shape[0]
+        return len(self._features)
 
     def coords(self) -> List[Coord]:
-        return list(self.features.keys())
+        if self._features is None:
+            return [(int(c[0]), int(c[1]), int(c[2]))
+                    for c in self._coords]
+        return list(self._features.keys())
+
+    def packed(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Lexicographically sorted (N, 3) int64 coords + (N, C) features.
+
+        Dict-backed tensors re-pack on every call (the dict's arrays may
+        have been mutated in place); packed tensors return their arrays
+        as-is.
+        """
+        if self._features is None:
+            return self._coords, self._matrix
+        keys = sorted(self._features.keys())
+        coords = np.asarray(keys, dtype=np.int64).reshape(len(keys), 3)
+        if keys:
+            mat = np.stack([self._features[c] for c in keys])
+        else:
+            mat = np.zeros((0, self.channels))
+        return coords, mat
 
     def dense(self) -> np.ndarray:
         """Materialize to a dense (C, X, Y, Z) array."""
         out = np.zeros((self.channels,) + self.grid_shape)
-        for (i, j, k), f in self.features.items():
-            out[:, i, j, k] = f
+        coords, mat = self.packed()
+        if coords.shape[0]:
+            out[:, coords[:, 0], coords[:, 1], coords[:, 2]] = mat.T
         return out
 
     def feature_matrix(self) -> Tuple[List[Coord], np.ndarray]:
         """Coordinates and a (N, C) stacked feature matrix, sorted."""
-        coords = sorted(self.features.keys())
-        if not coords:
-            return coords, np.zeros((0, self.channels))
-        mat = np.stack([self.features[c] for c in coords])
-        return coords, mat
+        coords, mat = self.packed()
+        return [(int(c[0]), int(c[1]), int(c[2])) for c in coords], mat
+
+
+class SparseGrad(Mapping):
+    """Packed gradient: sorted coords plus a (N, C) row matrix.
+
+    The vectorized backward passes hand this between layers so the chain
+    stays in array land, but it quacks like the coordinate dict the
+    reference implementations (and the tests) use.
+    """
+
+    def __init__(self, coords: np.ndarray, matrix: np.ndarray):
+        self.coords_arr = coords
+        self.matrix = matrix
+        self._lookup: Optional[Dict[Coord, int]] = None
+
+    def _rows(self) -> Dict[Coord, int]:
+        if self._lookup is None:
+            self._lookup = {
+                (int(c[0]), int(c[1]), int(c[2])): i
+                for i, c in enumerate(self.coords_arr)}
+        return self._lookup
+
+    def __getitem__(self, key: Coord) -> np.ndarray:
+        return self.matrix[self._rows()[tuple(key)]]
+
+    def __iter__(self):
+        return iter(self._rows())
+
+    def __len__(self) -> int:
+        return self.coords_arr.shape[0]
 
 
 def _kernel_offsets(kernel: int) -> List[Coord]:
@@ -103,44 +202,18 @@ class SparseConv3d(Module):
         self._cache = None
 
     def forward(self, x: SparseVoxelTensor) -> SparseVoxelTensor:
-        feats = x.features
-        out_sites: Dict[Coord, np.ndarray] = {}
-        # (output coord) -> list of (offset index, input coord) contributions
-        gather: Dict[Coord, List[Tuple[int, Coord]]] = {}
-        s = self.stride
-        for (i, j, k) in feats:
-            oc = (i // s, j // s, k // s) if s > 1 else (i, j, k)
-            if oc not in gather:
-                gather[oc] = []
-        for oc, contribs in gather.items():
-            ci, cj, ck = (oc[0] * s, oc[1] * s, oc[2] * s)
-            for oi, (dx, dy, dz) in enumerate(self.offsets):
-                nb = (ci + dx, cj + dy, ck + dz)
-                if nb in feats:
-                    contribs.append((oi, nb))
-        for oc, contribs in gather.items():
-            acc = self.bias.data.copy()
-            for oi, nb in contribs:
-                acc = acc + feats[nb] @ self.weight.data[oi]
-            out_sites[oc] = acc
-        shape = x.grid_shape if s == 1 else tuple(
-            max(1, d // s) for d in x.grid_shape)
-        self._cache = (x, gather)
-        return SparseVoxelTensor(out_sites, self.out_ch, shape)
+        with kernel_timer("sparse_conv3d", "forward"):
+            return get_kernel("sparse_conv3d").forward(self, x)
 
-    def backward(self, grad: Dict[Coord, np.ndarray]) -> Dict[Coord, np.ndarray]:
+    def backward(self, grad):
         """Backward pass; ``grad`` maps output coords to dL/d(out feature)."""
-        x, gather = self._cache
-        din: Dict[Coord, np.ndarray] = {
-            c: np.zeros(self.in_ch) for c in x.features}
-        for oc, g in grad.items():
-            if oc not in gather:
-                continue
-            self.bias.grad += g
-            for oi, nb in gather[oc]:
-                self.weight.grad[oi] += np.outer(x.features[nb], g)
-                din[nb] += self.weight.data[oi] @ g
-        return din
+        # The forward tagged its cache with the backend that built it, so
+        # a scoped backend switch between forward and backward stays
+        # consistent.
+        backend = self._cache[0]
+        with kernel_timer("sparse_conv3d", "backward"):
+            return get_kernel("sparse_conv3d",
+                              backend=backend).backward(self, grad)
 
     def macs_per_active_voxel(self, mean_neighbors: float | None = None) -> int:
         """Analytic MACs per active output voxel.
@@ -154,19 +227,41 @@ class SparseConv3d(Module):
 
 class SparseReLU(Module):
     def __init__(self):
-        self._mask: Dict[Coord, np.ndarray] = {}
+        self._mask = None
 
     def forward(self, x: SparseVoxelTensor) -> SparseVoxelTensor:
+        if x.is_packed:
+            coords, mat = x.packed()
+            m = mat > 0
+            self._mask = ("packed", coords, m)
+            return SparseVoxelTensor(
+                None, x.channels, x.grid_shape, coords=coords,
+                matrix=np.where(m, mat, 0.0),
+                index_cache=x._index_cache)
         out = {}
-        self._mask = {}
+        mask: Dict[Coord, np.ndarray] = {}
         for c, f in x.features.items():
             m = f > 0
-            self._mask[c] = m
+            mask[c] = m
             out[c] = np.where(m, f, 0.0)
+        self._mask = ("dict", mask)
         return SparseVoxelTensor(out, x.channels, x.grid_shape)
 
-    def backward(self, grad: Dict[Coord, np.ndarray]) -> Dict[Coord, np.ndarray]:
-        return {c: g * self._mask.get(c, 0.0) for c, g in grad.items()}
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        if self._mask[0] == "packed":
+            _, coords, m = self._mask
+            if isinstance(grad, SparseGrad) and \
+                    grad.matrix.shape == m.shape and \
+                    np.array_equal(grad.coords_arr, coords):
+                return SparseGrad(coords, grad.matrix * m)
+            lookup = {(int(c[0]), int(c[1]), int(c[2])): m[i]
+                      for i, c in enumerate(coords)}
+            return {c: g * lookup.get(tuple(c), 0.0)
+                    for c, g in grad.items()}
+        mask = self._mask[1]
+        return {c: g * mask.get(c, 0.0) for c, g in grad.items()}
 
 
 class SparseGlobalPool(Module):

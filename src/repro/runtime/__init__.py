@@ -11,7 +11,8 @@ tasks, per-worker wall time, and cache hits/misses so ``repro profile``
 sees the speedup.
 """
 
-from .bench import BENCHES, DEFAULT_BENCHES, run_bench, run_suite
+from .bench import (BENCHES, DEFAULT_BENCHES, MICRO_BENCHES,
+                    run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
     CACHE_ENV,
@@ -32,5 +33,6 @@ __all__ = [
     "cached_fit", "cached_build", "fingerprint",
     "CACHE_DIR_ENV", "CACHE_ENV",
     "spawn_seeds", "spawn_rngs", "assert_private_rngs",
-    "BENCHES", "DEFAULT_BENCHES", "run_bench", "run_suite",
+    "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "run_bench",
+    "run_suite",
 ]

@@ -25,7 +25,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .pool import WorkerPool
 
-__all__ = ["BENCHES", "DEFAULT_BENCHES", "run_bench", "run_suite"]
+__all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "run_bench",
+           "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -55,6 +56,7 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "fig7_starnet_recovery": ("bench_fig7_starnet_recovery", "run_fig7"),
     "fig9_optical_flow": ("bench_fig9_optical_flow", "run_fig9"),
     "ablation_masking": ("bench_ablation_masking", "run_ablation"),
+    "kernel_hotpaths": ("bench_kernel_hotpaths", "run_kernel_hotpaths"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -63,6 +65,11 @@ DEFAULT_BENCHES: Tuple[str, ...] = (
     "speculative_decoding", "multiagent_energy", "fig11_federated",
     "starnet_auc",
 )
+
+# Wall-clock micro-benchmarks (``repro bench --micro``).  Kept out of
+# DEFAULT_BENCHES: their results are timings, so the cross-worker
+# bit-identity promise above does not apply to them.
+MICRO_BENCHES: Tuple[str, ...] = ("kernel_hotpaths",)
 
 
 def benchmarks_dir() -> str:

@@ -51,7 +51,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENV = "REPRO_CACHE"
 # Bump to invalidate every existing entry (artifact layout changes).
 # v2: entries carry the telemetry counter delta of the elided compute.
-CACHE_VERSION = 2
+# v3: keys include the active kernel backend, so a cache populated
+#     under one REPRO_KERNELS setting can never replay its (last-ulp
+#     different) trained weights into a run under the other.
+CACHE_VERSION = 3
 
 _FALSEY = {"0", "off", "false", "no"}
 
@@ -126,7 +129,11 @@ class ArtifactCache:
 
     # ------------------------------------------------------------- keying
     def key(self, kind: str, **parts: Any) -> str:
-        return fingerprint(kind, parts)
+        # The kernel backend is part of every key: reference and
+        # vectorized kernels produce results that differ at the last
+        # ulp, so their trained artifacts must never cross-pollinate.
+        from ..kernels import active_backend
+        return fingerprint(kind, active_backend(), parts)
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.pkl")

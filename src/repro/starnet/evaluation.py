@@ -66,12 +66,19 @@ def corruption_scores(monitor: STARNet, extractor: LidarFeatureExtractor,
     per-scan scores instead of only the aggregate AUC.
     """
     rng = np.random.default_rng(seed)
-    return [
-        monitor.score(extractor.extract(apply_corruption(
-            s, corruption, severity=severity,
-            rng=np.random.default_rng(rng.integers(2 ** 31)))))
+    # Corrupt every scan first (consuming the seed stream in the same
+    # scan order as before), then score the whole batch in one kernel
+    # call — the per-scan corruption generators are private, so the
+    # reordering is stream-for-stream identical to scoring inline.
+    corrupted = [
+        apply_corruption(s, corruption, severity=severity,
+                         rng=np.random.default_rng(rng.integers(2 ** 31)))
         for s in scans
     ]
+    if not corrupted:
+        return []
+    return [float(v) for v in
+            monitor.score_batch(extractor.extract_batch(corrupted))]
 
 
 def run_auc_experiment(config: Optional[AUCExperimentConfig] = None
@@ -98,7 +105,8 @@ def run_auc_experiment(config: Optional[AUCExperimentConfig] = None
                       rng=np.random.default_rng(config.seed + 3))
     monitor.fit(extractor.extract_batch(fit_scans), epochs=config.vae_epochs)
 
-    clean_scores = [monitor.score(extractor.extract(s)) for s in test_scans]
+    clean_scores = [float(v) for v in
+                    monitor.score_batch(extractor.extract_batch(test_scans))]
 
     results: Dict[str, float] = {}
     rng = np.random.default_rng(config.seed + 4)
@@ -108,7 +116,8 @@ def run_auc_experiment(config: Optional[AUCExperimentConfig] = None
                              rng=np.random.default_rng(rng.integers(2 ** 31)))
             for s in test_scans
         ]
-        bad_scores = [monitor.score(extractor.extract(s)) for s in corrupted]
+        bad_scores = [float(v) for v in
+                      monitor.score_batch(extractor.extract_batch(corrupted))]
         scores = np.array(clean_scores + bad_scores)
         labels = np.array([0] * len(clean_scores) + [1] * len(bad_scores))
         results[name] = roc_auc(scores, labels)

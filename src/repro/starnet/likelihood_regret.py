@@ -22,7 +22,8 @@ from ..nn.optim import SPSA
 from ..nn.vae import VAE
 
 __all__ = ["per_sample_elbo", "likelihood_regret_spsa",
-           "likelihood_regret_exact", "reconstruction_error_score"]
+           "likelihood_regret_exact", "reconstruction_error_score",
+           "likelihood_regret_batch"]
 
 
 def per_sample_elbo(vae: VAE, x: np.ndarray, mu: np.ndarray,
@@ -127,3 +128,27 @@ def reconstruction_error_score(vae: VAE, x: np.ndarray,
     mu, _ = vae.encode(x)
     recon = vae.decode(mu)
     return float(np.sum((recon - x) ** 2))
+
+
+def likelihood_regret_batch(vae: VAE, x: np.ndarray,
+                            method: str = "spsa", steps: int = 30,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> np.ndarray:
+    """Regret scores for a whole (B, D) batch of feature rows.
+
+    Dispatches through the active ``likelihood_regret`` kernel backend:
+    the reference backend calls the single-sample functions above row by
+    row (consuming ``rng`` in row order), the vectorized backend runs
+    the ELBO evaluations and the inner optimization across all rows at
+    once.  ``method`` is one of ``"spsa"``, ``"exact"``, ``"recon"``.
+    """
+    from ..kernels import get_kernel
+
+    if method not in ("spsa", "exact", "recon"):
+        raise ValueError(f"unknown score method {method!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if x.shape[0] == 0:
+        return np.zeros(0)
+    return get_kernel("likelihood_regret").score_rows(
+        vae, x, method, steps, rng)

@@ -18,13 +18,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.components import Monitor, Percept
+from ..kernels import get_kernel, kernel_timer
 from ..nn.vae import VAE, train_vae
 from ..obs.registry import get_registry
-from .likelihood_regret import (
-    likelihood_regret_exact,
-    likelihood_regret_spsa,
-    reconstruction_error_score,
-)
 
 __all__ = ["STARNet", "ScoreMethod"]
 
@@ -73,7 +69,7 @@ class STARNet(Monitor):
         losses = train_vae(self.vae, train, epochs=epochs,
                            rng=np.random.default_rng(self.rng.integers(2 ** 31)))
         self._fitted = True
-        cal_scores = np.array([self._raw_score(row) for row in cal])
+        cal_scores = self._raw_score_batch(cal)
         self._cal_mean = float(cal_scores.mean())
         self._cal_std = float(cal_scores.std() + 1e-6)
         return losses
@@ -84,22 +80,34 @@ class STARNet(Monitor):
             raise RuntimeError("fit() the monitor before scoring")
         return (np.asarray(features, dtype=np.float64) - self._mean) / self._std
 
-    def _raw_score(self, xn: np.ndarray) -> float:
+    def _raw_score_batch(self, xn: np.ndarray) -> np.ndarray:
+        """Regret scores for a batch of already-normalized rows.
+
+        Dispatched through the ``likelihood_regret`` kernel pair: the
+        reference backend walks the rows one at a time through the
+        original single-sample functions (consuming ``self.rng`` in row
+        order), the vectorized backend runs the whole batch in lock-step.
+        """
+        xn = np.atleast_2d(np.asarray(xn, dtype=np.float64))
+        if xn.shape[0] == 0:
+            return np.zeros(0)
         if self.score_method == "spsa":
             get_registry().counter("starnet.spsa_iterations").inc(
-                self.spsa_steps)
-            return likelihood_regret_spsa(self.vae, xn, steps=self.spsa_steps,
-                                          rng=self.rng)
-        if self.score_method == "exact":
-            return likelihood_regret_exact(self.vae, xn, rng=self.rng)
-        return reconstruction_error_score(self.vae, xn, rng=self.rng)
+                self.spsa_steps * xn.shape[0])
+        with kernel_timer("likelihood_regret", "score_rows"):
+            return get_kernel("likelihood_regret").score_rows(
+                self.vae, xn, self.score_method, self.spsa_steps, self.rng)
+
+    def _raw_score(self, xn: np.ndarray) -> float:
+        return float(self._raw_score_batch(xn)[0])
 
     def score(self, features: np.ndarray) -> float:
         """Anomaly score of one feature vector (higher = more anomalous)."""
         return self._raw_score(self._normalize(features))
 
     def score_batch(self, features: np.ndarray) -> np.ndarray:
-        return np.array([self.score(row) for row in np.atleast_2d(features)])
+        return self._raw_score_batch(
+            self._normalize(np.atleast_2d(features)))
 
     def zscore(self, features: np.ndarray) -> float:
         """Score standardized against the nominal calibration scores."""

@@ -227,17 +227,28 @@ def read_golden(scenario: str, goldens_dir: Optional[str] = None) -> Trace:
 
 
 # ------------------------------------------------------------ comparison
-def compare_traces(golden: Trace, actual: Trace,
-                   mode: str = "exact") -> List[Mismatch]:
+def compare_traces(golden: Trace, actual: Trace, mode: str = "exact",
+                   extra_tolerances: Optional[Dict[str, Dict[str, Any]]]
+                   = None) -> List[Mismatch]:
     """Diff two traces record by record.
 
     ``mode="exact"`` requires bit-identity everywhere;
     ``mode="tolerance"`` applies the *golden* trace's tolerance spec
-    (unmatched fields stay exact).
+    (unmatched fields stay exact).  ``extra_tolerances`` merges
+    additional patterns into that spec for one comparison — used by the
+    kernel-backend differential, where the drift fields and bounds are
+    declared per scenario rather than baked into the golden.
     """
     if mode not in ("exact", "tolerance"):
         raise ValueError(f"unknown comparison mode {mode!r}")
-    spec = golden.spec() if mode == "tolerance" else None
+    spec = None
+    if mode == "tolerance":
+        if extra_tolerances:
+            merged = dict(golden.tolerances)
+            merged.update(extra_tolerances)
+            spec = ToleranceSpec.from_dict(merged)
+        else:
+            spec = golden.spec()
     mismatches: List[Mismatch] = []
     if golden.steps() != actual.steps():
         mismatches.append(Mismatch(

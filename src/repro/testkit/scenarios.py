@@ -284,6 +284,38 @@ SCENARIOS: Dict[str, tuple] = {
     "federated_round": (_federated_round, _FEDERATED_TOLERANCES),
 }
 
+# Extra per-field tolerances applied ONLY when a vectorized-backend run
+# is compared against the reference-recorded goldens (the ``kernels``
+# differential, and the serial/quantized checks when ``REPRO_KERNELS``
+# selects the vectorized backend).  The vectorized kernels re-associate
+# floating-point reductions — a stacked GEMM instead of per-site GEMVs
+# in the sparse conv, one batched-time conv instead of T small ones in
+# the SNN, whole-batch decoder calls in likelihood regret — so fields
+# downstream of those reductions drift at the last-ulp level.  Observed
+# drift on the seeded scenarios is <= 3e-14 relative; the 1e-6 bounds
+# below leave ~1e7 headroom for other BLAS builds while staying orders
+# of magnitude below any real regression.  Fields not listed here (and
+# not already tolerance-spec'd by their scenario) must still match the
+# goldens bit-for-bit: koopman_lqr and federated_round use only dense
+# layers, touch no kernel-dispatched path, and therefore declare no
+# drift at all.
+KERNEL_DRIFT_TOLERANCES: Dict[str, Dict[str, Dict[str, float]]] = {
+    "rmae_detect": {
+        "pretrain/losses*": {"atol": 1e-6, "rtol": 1e-6},
+        "finetune/losses*": {"atol": 1e-6, "rtol": 1e-6},
+    },
+    "koopman_lqr": {},
+    "starnet_monitor": {
+        "features/features*": {"atol": 1e-6, "rtol": 1e-6},
+        "features/losses*": {"atol": 1e-6, "rtol": 1e-6},
+        "fit/losses*": {"atol": 1e-6, "rtol": 1e-6},
+    },
+    "snn_flow": {
+        "train/losses*": {"atol": 1e-6, "rtol": 1e-6},
+    },
+    "federated_round": {},
+}
+
 
 def scenario_names() -> List[str]:
     return list(SCENARIOS)

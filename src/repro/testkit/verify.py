@@ -1,26 +1,37 @@
-"""Differential verification: one scenario, four execution strategies.
+"""Differential verification: one scenario, five execution strategies.
 
-For every golden scenario this driver runs the checks the runtime layer
-must keep true:
+For every golden scenario this driver runs the checks the runtime and
+kernel layers must keep true:
 
 * ``serial``    — a fresh, cache-disabled serial run must reproduce the
-  committed golden **bit for bit** (the plain regression check);
+  committed golden: **bit for bit** when the reference kernel backend
+  is active (goldens are recorded under it), within the per-scenario
+  kernel-drift tolerances when the vectorized backend is active (its
+  re-associated reductions drift at the last ulp);
 * ``pooled``    — the same scenario recorded inside a
   :class:`~repro.runtime.WorkerPool` worker (and, for the federated
   scenario, additionally with its *internal* client-training pool) must
-  be bit-identical to the golden — PR 2's determinism promise;
+  be bit-identical to a same-backend serial run — PR 2's determinism
+  promise holds per backend;
 * ``cache``     — a cold run that *populates* a private artifact cache
-  and a warm run that *hits* it must both be bit-identical to the
-  golden; scenarios known to exercise the cache must actually create
-  entries, so a silently unwired memoizer fails loudly;
+  and a warm run that *hits* it must both be bit-identical to a
+  same-backend serial run; scenarios known to exercise the cache must
+  actually create entries, so a silently unwired memoizer fails loudly;
 * ``quantized`` — the fake-quantized variant must stay within the
   scenario's declared per-field tolerances (training records, which the
-  quantization must not touch, stay exact).
+  quantization must not touch, stay exact against the same backend);
+* ``kernels``   — the scenario re-run under the *other* kernel backend
+  must agree with the golden: exactly when that other backend is the
+  reference (it reproduces the recording), within the declared
+  kernel-drift tolerances when it is the vectorized one.  This is the
+  standing differential that keeps the two implementations of every
+  hot-path kernel equivalent at scenario scale.
 
 ``run_verify`` is the library entry point; ``main_verify`` backs the
 ``repro verify`` CLI subcommand, including ``--update-goldens`` (record
-fresh goldens first, then verify against them) and ``--diff-out`` (a
-JSON mismatch artifact CI uploads on failure).
+fresh goldens — always under the reference backend — then verify
+against them) and ``--diff-out`` (a JSON mismatch artifact CI uploads
+on failure).
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..kernels import BACKENDS, active_backend, kernel_backend
 from ..runtime.cache import CACHE_DIR_ENV, CACHE_ENV
 from ..runtime.pool import WorkerPool, resolve_workers
 from .golden import (
@@ -42,13 +54,19 @@ from .golden import (
     read_golden,
     write_golden,
 )
-from .scenarios import SCENARIOS, run_scenario, run_scenario_task, scenario_names
+from .scenarios import (
+    KERNEL_DRIFT_TOLERANCES,
+    SCENARIOS,
+    run_scenario,
+    run_scenario_task,
+    scenario_names,
+)
 from .tolerance import Mismatch
 
 __all__ = ["CHECKS", "CACHED_SCENARIOS", "CheckResult", "VerifyReport",
            "run_verify", "main_verify"]
 
-CHECKS = ("serial", "pooled", "cache", "quantized")
+CHECKS = ("serial", "pooled", "cache", "quantized", "kernels")
 # Scenarios whose training paths are memoized by repro.runtime.cache;
 # their cold runs must create at least one artifact or the cache
 # differential is vacuous.  (snn_flow's trainer is deliberately
@@ -110,6 +128,7 @@ class VerifyReport:
     results: List[CheckResult] = field(default_factory=list)
     goldens_dir: str = ""
     updated: List[str] = field(default_factory=list)
+    backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -122,12 +141,15 @@ class VerifyReport:
         return {
             "ok": self.ok,
             "goldens_dir": self.goldens_dir,
+            "kernel_backend": self.backend,
             "updated_goldens": list(self.updated),
             "results": [r.as_dict() for r in self.results],
         }
 
     def render(self) -> str:
         lines = []
+        if self.backend:
+            lines.append(f"  kernel backend: {self.backend}")
         by_scenario: Dict[str, List[CheckResult]] = {}
         for r in self.results:
             by_scenario.setdefault(r.scenario, []).append(r)
@@ -156,8 +178,10 @@ class VerifyReport:
 
 
 def _compare(scenario: str, check: str, golden: Trace, actual: Trace,
-             mode: str, detail: str = "") -> CheckResult:
-    mismatches = compare_traces(golden, actual, mode=mode)
+             mode: str, detail: str = "",
+             extra_tolerances: Optional[dict] = None) -> CheckResult:
+    mismatches = compare_traces(golden, actual, mode=mode,
+                                extra_tolerances=extra_tolerances)
     return CheckResult(scenario, check,
                        "pass" if not mismatches else "fail",
                        mismatches, detail)
@@ -177,6 +201,13 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
     to omit (e.g. ``("pooled",)`` on hosts without ``multiprocessing``).
     ``cache_root`` overrides the private cache directory used by the
     cache differential (a fresh temporary directory by default).
+
+    Checks are backend-aware: goldens are always recorded under the
+    reference kernel backend, so against-golden comparisons are exact
+    only when the reference backend is active; under the vectorized
+    backend the serial check applies the declared kernel-drift
+    tolerances and the pooled/cache/quantized checks anchor on the
+    same-backend serial recording instead.
     """
     import tempfile
 
@@ -191,19 +222,31 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
                        f"choose from {', '.join(CHECKS)}")
     directory = goldens_dir or default_goldens_dir()
     pool_workers = max(2, resolve_workers(workers))
-    report = VerifyReport(goldens_dir=directory)
+    backend = active_backend()
+    reference_active = backend == "reference"
+    other_backend = next(b for b in BACKENDS if b != backend)
+    report = VerifyReport(goldens_dir=directory, backend=backend)
 
-    # Phase 1 — canonical serial, cache-disabled recordings.
+    # Phase 1 — canonical serial, cache-disabled recordings under the
+    # active backend.  These double as the anchor traces for the
+    # pooled/cache/quantized checks when the active backend is not the
+    # one the goldens were recorded under.
     serial: Dict[str, Trace] = {}
     with _cache_env(enabled=False):
         for name in names:
             serial[name] = run_scenario(name)
 
-    # Phase 2 — goldens: record or load, then the serial regression check.
+    # Phase 2 — goldens: record or load, then the serial regression
+    # check.  Goldens are *always* recorded under the reference backend
+    # so the committed files are independent of REPRO_KERNELS.
     goldens: Dict[str, Trace] = {}
     for name in names:
         if update_goldens:
-            write_golden(serial[name], directory)
+            if reference_active:
+                write_golden(serial[name], directory)
+            else:
+                with _cache_env(enabled=False), kernel_backend("reference"):
+                    write_golden(run_scenario(name), directory)
             report.updated.append(name)
         try:
             goldens[name] = read_golden(name, directory)
@@ -213,12 +256,28 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
             continue
         if "serial" in skip:
             report.results.append(CheckResult(name, "serial", "skip"))
-        else:
+        elif reference_active:
             report.results.append(_compare(
                 name, "serial", goldens[name], serial[name], "exact",
-                detail="fresh serial run vs committed golden"))
+                detail="fresh serial run vs committed golden "
+                       "(reference backend)"))
+        else:
+            report.results.append(_compare(
+                name, "serial", goldens[name], serial[name], "tolerance",
+                detail=f"fresh serial run ({backend} backend) vs "
+                       "reference-recorded golden, kernel-drift tolerances",
+                extra_tolerances=KERNEL_DRIFT_TOLERANCES.get(name)))
 
     active = [n for n in names if n in goldens]
+
+    def _anchor(name: str) -> Trace:
+        # Bit-identity checks must compare same-backend runs: the
+        # golden when the active backend recorded it, otherwise this
+        # invocation's own serial recording.
+        return goldens[name] if reference_active else serial[name]
+
+    anchor_desc = ("committed golden" if reference_active
+                   else f"{backend}-backend serial run")
 
     # Phase 3 — pooled: record inside worker processes; the federated
     # scenario additionally runs its internal client-training pool.
@@ -229,13 +288,14 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
                                   label="verify.pooled")
                 for name, trace in zip(active, pooled):
                     report.results.append(_compare(
-                        name, "pooled", goldens[name], trace, "exact",
-                        detail=f"recorded in a {pool_workers}-worker pool"))
+                        name, "pooled", _anchor(name), trace, "exact",
+                        detail=f"recorded in a {pool_workers}-worker pool "
+                               f"vs {anchor_desc}"))
                 if "federated_round" in goldens:
                     internal = run_scenario("federated_round", pool=pool)
                     report.results.append(_compare(
                         "federated_round", "pooled",
-                        goldens["federated_round"], internal, "exact",
+                        _anchor("federated_round"), internal, "exact",
                         detail="internal FLServer.run_round(pool=...) path"))
     else:
         for name in active:
@@ -252,11 +312,13 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
             entries = len([f for f in os.listdir(root)
                            if f.endswith(".pkl")])
             warm = run_scenario(name)
-        result = _compare(name, "cache", goldens[name], cold, "exact",
-                          detail=f"cold run ({entries} cache entries)")
+        result = _compare(name, "cache", _anchor(name), cold, "exact",
+                          detail=f"cold run ({entries} cache entries) "
+                                 f"vs {anchor_desc}")
         if result.ok:
-            result = _compare(name, "cache", goldens[name], warm, "exact",
-                              detail=f"warm run ({entries} cache entries)")
+            result = _compare(name, "cache", _anchor(name), warm, "exact",
+                              detail=f"warm run ({entries} cache entries) "
+                                     f"vs {anchor_desc}")
         if result.ok and name in CACHED_SCENARIOS and entries == 0:
             result = CheckResult(
                 name, "cache", "fail", [],
@@ -264,7 +326,9 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
                        "cache but its cold run created no entries")
         report.results.append(result)
 
-    # Phase 5 — quantized: bounded drift under the declared tolerances.
+    # Phase 5 — quantized: bounded drift under the declared tolerances,
+    # against a same-backend float anchor so kernel drift cannot eat
+    # into the quantization budget.
     with _cache_env(enabled=False):
         for name in active:
             if "quantized" in skip:
@@ -272,8 +336,30 @@ def run_verify(scenarios: Optional[Sequence[str]] = None,
                 continue
             quant = run_scenario(name, variant="quantized")
             report.results.append(_compare(
-                name, "quantized", goldens[name], quant, "tolerance",
-                detail="fake-quantized evaluation vs float golden"))
+                name, "quantized", _anchor(name), quant, "tolerance",
+                detail=f"fake-quantized evaluation vs float {anchor_desc}"))
+
+    # Phase 6 — kernels: the scenario under the *other* backend must
+    # agree with the golden (exactly when that other backend is the
+    # reference; within the declared drift tolerances when it is the
+    # vectorized one).
+    with _cache_env(enabled=False):
+        for name in active:
+            if "kernels" in skip:
+                report.results.append(CheckResult(name, "kernels", "skip"))
+                continue
+            with kernel_backend(other_backend):
+                cross = run_scenario(name)
+            if other_backend == "reference":
+                report.results.append(_compare(
+                    name, "kernels", goldens[name], cross, "exact",
+                    detail="reference-backend re-run vs committed golden"))
+            else:
+                report.results.append(_compare(
+                    name, "kernels", goldens[name], cross, "tolerance",
+                    detail=f"{other_backend}-backend re-run vs committed "
+                           "golden, kernel-drift tolerances",
+                    extra_tolerances=KERNEL_DRIFT_TOLERANCES.get(name)))
     return report
 
 

@@ -115,7 +115,9 @@ def test_verify_single_scenario_json_report(tmp_path):
     checks = {(r["scenario"], r["check"], r["status"])
               for r in report["results"]}
     assert checks == {("koopman_lqr", c, "pass")
-                      for c in ("serial", "pooled", "cache", "quantized")}
+                      for c in ("serial", "pooled", "cache", "quantized",
+                                "kernels")}
+    assert report["kernel_backend"] in ("reference", "vectorized")
 
 
 def test_verify_unknown_scenario_exits_nonzero():

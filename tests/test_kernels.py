@@ -1,0 +1,277 @@
+"""Kernel dispatch layer + reference/vectorized equivalence.
+
+The dispatch tests pin the selection contract (``REPRO_KERNELS``, scoped
+overrides, loud errors for unknown names).  The equivalence tests are
+the unit-level half of the differential story: for every kernel pair,
+random scenario-shaped inputs — including empty and degenerate active
+sets — must produce matching forwards *and* matching gradients, with
+the only allowed gap being BLAS re-association at the last ulps.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.detect.ap import Detection
+from repro.kernels import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    KERNELS_ENV,
+    KernelError,
+    active_backend,
+    available_kernels,
+    get_kernel,
+    kernel_backend,
+    kernel_timer,
+    register_kernel,
+)
+from repro.neuromorphic.snn import SpikingConv2d
+from repro.nn.sparse3d import (SparseConv3d, SparseGrad, SparseVoxelTensor)
+from repro.nn.vae import VAE
+from repro.starnet.likelihood_regret import likelihood_regret_batch
+
+# ---------------------------------------------------------------- dispatch
+
+
+def test_default_backend_is_vectorized(monkeypatch):
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+    assert DEFAULT_BACKEND == "vectorized"
+    assert active_backend() == "vectorized"
+
+
+def test_env_selects_backend(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "reference")
+    assert active_backend() == "reference"
+    monkeypatch.setenv(KERNELS_ENV, "VECTORIZED")  # case-insensitive
+    assert active_backend() == "vectorized"
+
+
+def test_invalid_env_backend_raises(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "turbo")
+    with pytest.raises(KernelError, match="invalid REPRO_KERNELS"):
+        active_backend()
+    with pytest.raises(KernelError):
+        get_kernel("sparse_conv3d")
+
+
+def test_scoped_override_beats_env_and_restores(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "vectorized")
+    with kernel_backend("reference"):
+        assert active_backend() == "reference"
+        with kernel_backend("vectorized"):
+            assert active_backend() == "vectorized"
+        assert active_backend() == "reference"
+    assert active_backend() == "vectorized"
+    with pytest.raises(KernelError, match="unknown kernel backend"):
+        with kernel_backend("turbo"):
+            pass
+
+
+def test_unknown_kernel_and_backend_errors():
+    with pytest.raises(KernelError, match="unknown kernel 'nope'"):
+        get_kernel("nope")
+    with pytest.raises(KernelError, match="unknown kernel backend"):
+        get_kernel("sparse_conv3d", backend="turbo")
+
+
+def test_registry_covers_the_hot_paths():
+    assert {"sparse_conv3d", "snn_bptt", "likelihood_regret",
+            "bev_match"} <= set(available_kernels())
+    for name in ("sparse_conv3d", "snn_bptt", "likelihood_regret",
+                 "bev_match"):
+        for backend in BACKENDS:
+            assert get_kernel(name, backend=backend) is not None
+
+
+def test_register_kernel_validates_backend():
+    with pytest.raises(KernelError, match="unknown kernel backend"):
+        register_kernel("x", "turbo", object())
+
+
+def test_partially_registered_kernel_fails_loudly():
+    register_kernel("test-only-partial", "reference", object())
+    try:
+        with pytest.raises(KernelError, match="no 'vectorized' backend"):
+            get_kernel("test-only-partial", backend="vectorized")
+    finally:
+        from repro.kernels import _REGISTRY
+        _REGISTRY.pop("test-only-partial", None)
+
+
+def test_kernel_timer_records_histogram_not_counter():
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with kernel_timer("test_kernel", "op"):
+            pass
+    snap = registry.snapshot()
+    assert "kernels.test_kernel.op_s" in snap["histograms"]
+    # Timings must never land in counters: golden traces record the
+    # deterministic counter slice and wall clock is not deterministic.
+    assert not any(k.startswith("kernels.") for k in snap["counters"])
+
+
+# ----------------------------------------------------- sparse conv parity
+
+
+def _random_sparse(rng, grid, n_active, in_ch):
+    total = grid[0] * grid[1] * grid[2]
+    n_active = min(n_active, total)
+    flat = rng.choice(total, size=n_active, replace=False)
+    coords = [tuple(int(v) for v in c)
+              for c in np.stack(np.unravel_index(np.sort(flat), grid),
+                                axis=1)]
+    values = rng.normal(size=(n_active, in_ch))
+    return SparseVoxelTensor.from_coords(coords, in_ch, grid, values=values)
+
+
+@pytest.mark.parametrize("n_active", [0, 1, 9, 40])
+@pytest.mark.parametrize("stride", [1, 2])
+def test_sparse_conv_backends_agree(n_active, stride):
+    rng = np.random.default_rng(100 + n_active + stride)
+    grid = (6, 5, 3) if n_active else (1, 1, 1)  # degenerate too
+    in_ch, out_ch = 3, 4
+
+    outs, grads = {}, {}
+    for backend in BACKENDS:
+        layer = SparseConv3d(in_ch, out_ch, kernel=3, stride=stride,
+                             rng=np.random.default_rng(1))
+        x = _random_sparse(np.random.default_rng(2), grid, n_active, in_ch)
+        with kernel_backend(backend):
+            out = layer.forward(x)
+            oc, om = out.packed()
+            din = layer.backward(SparseGrad(oc, np.ones_like(om)))
+        outs[backend] = out
+        grads[backend] = (layer.weight.grad.copy(), layer.bias.grad.copy(),
+                          {c: din[c].copy() for c in din})
+
+    ref, vec = outs["reference"], outs["vectorized"]
+    assert sorted(ref.features) == sorted(vec.features)
+    rc, rm = ref.packed()
+    vc, vm = vec.packed()
+    np.testing.assert_array_equal(rc, vc)
+    np.testing.assert_allclose(rm, vm, rtol=1e-12, atol=1e-12)
+    for (rw, rb, rd), (vw, vb, vd) in [(grads["reference"],
+                                        grads["vectorized"])]:
+        np.testing.assert_allclose(rw, vw, rtol=1e-11, atol=1e-12)
+        np.testing.assert_allclose(rb, vb, rtol=1e-11, atol=1e-12)
+        assert sorted(rd) == sorted(vd)
+        for c in rd:
+            np.testing.assert_allclose(rd[c], vd[c],
+                                       rtol=1e-11, atol=1e-12)
+
+
+# ------------------------------------------------------- SNN BPTT parity
+
+
+@pytest.mark.parametrize("learnable", [False, True])
+def test_snn_bptt_backends_agree(learnable):
+    x = np.random.default_rng(31).normal(size=(5, 2, 2, 6, 6))
+    grad_out = np.random.default_rng(32).normal(size=(5, 2, 3, 6, 6))
+
+    results = {}
+    for backend in BACKENDS:
+        layer = SpikingConv2d(2, 3, leak=0.85, threshold=0.7,
+                              learnable_dynamics=learnable,
+                              rng=np.random.default_rng(30))
+        with kernel_backend(backend):
+            spikes = layer.forward(x)
+            din = layer.backward(grad_out.copy())
+        results[backend] = (spikes, din, layer)
+
+    ref_s, ref_d, ref_l = results["reference"]
+    vec_s, vec_d, vec_l = results["vectorized"]
+    assert ref_s.sum() > 0  # genuinely spiking workload
+    np.testing.assert_array_equal(ref_s, vec_s)  # binary: must be exact
+    np.testing.assert_allclose(ref_d, vec_d, rtol=1e-9, atol=1e-12)
+    for rp, vp in zip(ref_l.parameters(), vec_l.parameters()):
+        np.testing.assert_allclose(rp.grad, vp.grad,
+                                   rtol=1e-9, atol=1e-12,
+                                   err_msg=rp.name)
+
+
+# -------------------------------------------------- likelihood regret parity
+
+
+@pytest.mark.parametrize("method", ["spsa", "exact", "recon"])
+def test_likelihood_regret_backends_agree(method):
+    vae = VAE(9, latent_dim=4, hidden=(12,), rng=np.random.default_rng(40))
+    X = np.random.default_rng(41).normal(size=(5, 9))
+    scores = {
+        backend: get_kernel("likelihood_regret", backend=backend)
+        .score_rows(vae, X, method, 8, np.random.default_rng(42))
+        for backend in BACKENDS
+    }
+    assert scores["reference"].shape == (5,)
+    np.testing.assert_allclose(scores["reference"], scores["vectorized"],
+                               rtol=1e-9, atol=1e-12)
+
+
+def test_likelihood_regret_batch_entry_point():
+    vae = VAE(9, latent_dim=4, hidden=(12,), rng=np.random.default_rng(40))
+    X = np.random.default_rng(41).normal(size=(3, 9))
+    out = likelihood_regret_batch(vae, X, method="recon")
+    assert out.shape == (3,) and np.all(out >= 0)
+    assert likelihood_regret_batch(vae, np.zeros((0, 9))).shape == (0,)
+    with pytest.raises(ValueError, match="unknown score method"):
+        likelihood_regret_batch(vae, X, method="bogus")
+
+
+# ------------------------------------------------------- BEV match parity
+
+
+def test_bev_match_backends_agree():
+    rng = np.random.default_rng(50)
+    cases = [
+        ([], np.zeros((0, 2))),                      # both empty
+        ([Detection("Car", 1.0, 2.0, 0.9)], np.zeros((0, 2))),  # no GTs
+        ([], rng.uniform(0, 10, size=(3, 2))),       # no preds
+    ]
+    for _ in range(20):
+        preds = [Detection("Car", float(x), float(y), float(s))
+                 for x, y, s in rng.uniform(0, 20, size=(rng.integers(1, 25),
+                                                         3))]
+        gts = rng.uniform(0, 20, size=(int(rng.integers(1, 10)), 2))
+        cases.append((preds, gts))
+    for preds, gts in cases:
+        ref = get_kernel("bev_match", backend="reference").match_scene(
+            preds, gts, 4.0)
+        vec = get_kernel("bev_match", backend="vectorized").match_scene(
+            preds, gts, 4.0)
+        assert ref == vec  # scores and TP flags, exactly
+
+
+# -------------------------------------------- sparse tensor representations
+
+
+def test_sparse_tensor_dict_and_packed_round_trip():
+    coords = [(0, 1, 0), (2, 0, 1), (1, 1, 1)]
+    values = np.arange(9.0).reshape(3, 3)
+    x = SparseVoxelTensor.from_coords(coords, 3, (3, 2, 2), values=values)
+    assert not x.is_packed and x.num_active == 3
+
+    pc, pm = x.packed()
+    assert pc.shape == (3, 3) and pm.shape == (3, 3)
+    # packed() sorts coordinates lexicographically.
+    assert [tuple(c) for c in pc] == sorted(coords)
+
+    packed = SparseVoxelTensor(None, 3, (3, 2, 2), coords=pc.copy(),
+                               matrix=pm.copy())
+    assert packed.is_packed and packed.num_active == 3
+    np.testing.assert_array_equal(packed.dense(), x.dense())
+    # Materializing the dict drops the packed arrays.
+    feats = packed.features
+    assert not packed.is_packed
+    np.testing.assert_array_equal(feats[(2, 0, 1)], x.features[(2, 0, 1)])
+
+    with pytest.raises(ValueError):
+        SparseVoxelTensor(None, 3, (3, 2, 2))
+
+
+def test_sparse_grad_is_a_mapping():
+    coords = np.array([[0, 0, 0], [1, 2, 3]], dtype=np.int64)
+    g = SparseGrad(coords, np.array([[1.0, 2.0], [3.0, 4.0]]))
+    assert len(g) == 2
+    assert (1, 2, 3) in g and (9, 9, 9) not in g
+    np.testing.assert_array_equal(g[(0, 0, 0)], [1.0, 2.0])
+    assert set(g) == {(0, 0, 0), (1, 2, 3)}
+    assert sorted(g.keys()) == [(0, 0, 0), (1, 2, 3)]

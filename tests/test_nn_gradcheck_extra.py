@@ -14,10 +14,21 @@
 """
 
 import numpy as np
+import pytest
 
 from gradcheck import numeric_gradient
+from repro.kernels import BACKENDS, kernel_backend
 from repro.neuromorphic.snn import SpikingConv2d
 from repro.nn.sparse3d import SparseConv3d, SparseVoxelTensor
+
+
+@pytest.fixture(params=BACKENDS, autouse=True)
+def _kernel_backend(request):
+    """Run every gradient check under both kernel backends: the analytic
+    backward of each implementation must match central differences."""
+    with kernel_backend(request.param):
+        yield request.param
+
 
 # ------------------------------------------------------------- sparse conv
 

@@ -14,6 +14,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.kernels import kernel_backend
 from repro.testkit import (
     CHECKS,
     EXACT,
@@ -268,7 +269,7 @@ def test_scenario_registry_shape():
     assert set(scenario_names()) == {"rmae_detect", "koopman_lqr",
                                      "starnet_monitor", "snn_flow",
                                      "federated_round"}
-    assert CHECKS == ("serial", "pooled", "cache", "quantized")
+    assert CHECKS == ("serial", "pooled", "cache", "quantized", "kernels")
 
 
 def test_run_scenario_validates_name_and_variant():
@@ -331,17 +332,29 @@ def test_run_verify_update_then_verify_round_trip(tmp_path):
     assert report.ok
     statuses = {(r.check, r.status) for r in report.results}
     assert statuses == {("serial", "pass"), ("pooled", "skip"),
-                        ("cache", "skip"), ("quantized", "pass")}
+                        ("cache", "skip"), ("quantized", "pass"),
+                        ("kernels", "pass")}
     as_dict = report.as_dict()
-    assert as_dict["ok"] is True and len(as_dict["results"]) == 4
+    assert as_dict["ok"] is True and len(as_dict["results"]) == 5
+    assert as_dict["kernel_backend"] in ("reference", "vectorized")
     assert "koopman_lqr" in report.render()
 
 
 def test_run_verify_catches_injected_regression(tmp_path):
-    """The harness's reason to exist: a drifted golden must fail loudly."""
+    """The harness's reason to exist: a drifted golden must fail loudly.
+
+    Pinned to the reference kernel backend so the serial check compares
+    bit-for-bit (under the vectorized backend it runs in tolerance mode
+    and the exact comparison moves to the ``kernels`` check).
+    """
+    with kernel_backend("reference"):
+        _injected_regression_body(tmp_path)
+
+
+def _injected_regression_body(tmp_path):
     run_verify(["koopman_lqr"], update_goldens=True,
                goldens_dir=str(tmp_path), skip=("pooled", "cache",
-                                                "quantized"))
+                                                "quantized", "kernels"))
     golden = read_golden("koopman_lqr", str(tmp_path))
     drifted = Trace(scenario=golden.scenario,
                     records=json.loads(json.dumps(golden.records)),
@@ -371,7 +384,7 @@ def test_run_verify_catches_injected_regression(tmp_path):
     assert any(_bump_first_float(r["payload"]) for r in drifted.records)
     write_golden(drifted, str(tmp_path))  # re-hash: file is "valid"
     report = run_verify(["koopman_lqr"], goldens_dir=str(tmp_path),
-                        skip=("pooled", "cache", "quantized"))
+                        skip=("pooled", "cache", "quantized", "kernels"))
     assert not report.ok
     (failure,) = report.failures()
     assert failure.check == "serial" and failure.mismatches
