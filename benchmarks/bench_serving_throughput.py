@@ -1,0 +1,51 @@
+"""Serving-throughput benchmark — micro-batched vs serial inference.
+
+Runs the :mod:`repro.serve` multi-loop driver: N concurrent
+sensing-to-action loops share one batched STARNet trust service, against
+the serial per-request baseline over identical environment streams.
+The committed JSON is the throughput evidence for the serving runtime;
+``check_regressions.py`` gates on the batched and serial trust values
+staying equivalent (blocking) and warns if the speedup regresses below
+its target (non-blocking — wall-clock ratios jitter on loaded hosts).
+"""
+
+from repro.serve import ServingBenchConfig, run_serving_benchmark
+
+from bench_utils import print_table, save_result
+
+SPEEDUP_TARGET = 3.0
+
+
+def run_serving_throughput() -> dict:
+    result = run_serving_benchmark(ServingBenchConfig())
+    result["speedup_target"] = SPEEDUP_TARGET
+    return result
+
+
+def test_serving_throughput(benchmark):
+    result = benchmark.pedantic(run_serving_throughput, rounds=1,
+                                iterations=1)
+    cfg = result["config"]
+    serial, batched = result["serial"], result["batched"]
+    print_table(
+        f"Serving throughput — {cfg['n_loops']} concurrent loops, "
+        f"batch {cfg['max_batch_size']}, max_wait {cfg['max_wait_ms']}ms",
+        ["Mode", "Requests", "Wall", "Throughput", "p95 latency"],
+        [["serial", cfg["requests"], f"{serial['wall_s'] * 1e3:.1f}ms",
+          f"{serial['throughput_rps']:.0f} rps",
+          f"{serial['mean_latency_ms']:.2f}ms (mean)"],
+         ["batched", cfg["requests"], f"{batched['wall_s'] * 1e3:.1f}ms",
+          f"{batched['throughput_rps']:.0f} rps",
+          f"{batched['p95_ms']:.2f}ms"]])
+    print(f"speedup: {result['speedup']:.2f}x  "
+          f"equivalence max|diff|: {result['equivalence_max_abs_diff']:.2e}  "
+          f"mean batch: {batched['mean_batch_size']:.1f}  "
+          f"shed: {batched['shed']}")
+    save_result("bench_serving_throughput", result)
+
+    # Correctness claims are hard; the throughput ratio is asserted here
+    # (dedicated hosts) and only warned about by the regression gate.
+    assert result["equivalence_ok"], result["equivalence_max_abs_diff"]
+    assert batched["shed"] == 0
+    assert result["p95_within_max_wait"], batched["p95_ms"]
+    assert result["speedup"] >= SPEEDUP_TARGET, result["speedup"]

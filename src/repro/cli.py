@@ -15,14 +15,29 @@ writing any code:
 * ``bench``             — run benchmark entry points (default: the fast
   shape-level subset) under a :class:`repro.runtime.WorkerPool`;
   ``--workers N`` fans them out over processes with results
-  bit-identical to serial, ``--out`` keeps the aggregated JSON;
+  bit-identical to serial, ``--out`` keeps the aggregated JSON.
+  Suite aliases select the timing-valued benches that are kept out of
+  the default set: ``--micro`` appends the kernel micro-benchmarks
+  (``MICRO_BENCHES``) and ``--serving`` appends the serving-throughput
+  benches (``SERVING_BENCHES``); ``--help-names`` lists every
+  registered name with its ``[default]``/``[micro]``/``[serving]``
+  tag;
+* ``serve-bench``       — run the micro-batched serving benchmark (N
+  concurrent loops sharing one :class:`repro.serve.BatchedService`)
+  and print the serial-vs-batched comparison; ``--smoke`` runs the
+  seconds-scale CI variant.  Exit codes: 0 = equivalence, shedding,
+  and p95 bounds all hold; 1 = a correctness/bound check failed
+  (the throughput multiple is reported but never gates — wall-clock
+  ratios jitter on shared hosts);
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
 * ``verify``            — golden-trace differential verification: replay
   the five pillar scenarios serially, pooled, cached, and quantized,
   diffing each against the committed goldens under ``tests/goldens/``
-  (``--update-goldens`` re-records them);
+  (``--update-goldens`` re-records them).  Exit codes: 0 = all checks
+  pass, 1 = mismatches, 2 = bad usage — the same contract the README
+  documents, so CI can gate on it;
 * ``list``              — enumerate available demos and experiments.
 
 Every failure path (unknown demo/experiment/profile target, a demo
@@ -293,6 +308,52 @@ def _run_bench(names, workers, out: str) -> int:
     return 0
 
 
+def _run_serve_bench(smoke: bool, out: str, as_json: bool) -> int:
+    from repro.serve import ServingBenchConfig, run_serving_benchmark
+
+    config = ServingBenchConfig.smoke() if smoke else ServingBenchConfig()
+    result = run_serving_benchmark(config)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write serving artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote serving results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        cfg, serial, batched = (result["config"], result["serial"],
+                                result["batched"])
+        print(f"serving benchmark ({'smoke' if smoke else 'full'}): "
+              f"{cfg['n_loops']} loops x {cfg['cycles_per_loop']} cycles, "
+              f"batch {cfg['max_batch_size']}, "
+              f"max_wait {cfg['max_wait_ms']:.0f}ms")
+        print(f"  serial   {serial['throughput_rps']:8.0f} rps  "
+              f"mean latency {serial['mean_latency_ms']:.2f}ms")
+        print(f"  batched  {batched['throughput_rps']:8.0f} rps  "
+              f"p50 {batched['p50_ms']:.2f}ms  p95 {batched['p95_ms']:.2f}ms "
+              f" p99 {batched['p99_ms']:.2f}ms")
+        print(f"  speedup {result['speedup']:.2f}x  "
+              f"mean batch {batched['mean_batch_size']:.1f}  "
+              f"shed {batched['shed']}  "
+              f"equivalence max|diff| "
+              f"{result['equivalence_max_abs_diff']:.2e}")
+    # Correctness and scheduler-contract claims gate; the throughput
+    # multiple is informational (wall clock jitters on shared hosts).
+    ok = (result["equivalence_ok"] and result["batched"]["shed"] == 0
+          and result["p95_within_max_wait"])
+    if not ok:
+        print("serve-bench FAILED: "
+              f"equivalence_ok={result['equivalence_ok']} "
+              f"shed={result['batched']['shed']} "
+              f"p95_within_max_wait={result['p95_within_max_wait']}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -355,10 +416,28 @@ def main(argv=None) -> int:
     bench.add_argument("--out", default="",
                        help="write aggregated results JSON here")
     bench.add_argument("--micro", action="store_true",
-                       help="include the kernel micro-benchmarks (alone "
-                            "when no names are given, appended otherwise)")
+                       help="include the kernel micro-benchmark suite "
+                            "(MICRO_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
+    bench.add_argument("--serving", action="store_true",
+                       help="include the serving-throughput suite "
+                            "(SERVING_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
-                       help="list registered bench names and exit")
+                       help="list registered bench names with their "
+                            "[default]/[micro]/[serving] tags and exit")
+    serve = sub.add_parser(
+        "serve-bench",
+        help="run the micro-batched serving benchmark (serial vs "
+             "batched over identical request streams); exits 1 if the "
+             "equivalence, shedding, or p95 bound fails")
+    serve.add_argument("--smoke", action="store_true",
+                       help="seconds-scale CI variant (fewer loops and "
+                            "cycles, batch size matched to loop count)")
+    serve.add_argument("--out", default="",
+                       help="write the full results JSON here")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk artifact cache "
@@ -417,18 +496,26 @@ def main(argv=None) -> int:
         return _run_profile(args.target, args.out, args.jsonl, args.cycles)
     if args.command == "bench":
         if args.help_names:
-            from repro.runtime import BENCHES, DEFAULT_BENCHES, MICRO_BENCHES
+            from repro.runtime import (BENCHES, DEFAULT_BENCHES,
+                                       MICRO_BENCHES, SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
                     tag = "  [micro]"
+                if name in SERVING_BENCHES:
+                    tag = "  [serving]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
         if args.micro:
             from repro.runtime import MICRO_BENCHES
             names.extend(n for n in MICRO_BENCHES if n not in names)
+        if args.serving:
+            from repro.runtime import SERVING_BENCHES
+            names.extend(n for n in SERVING_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args.smoke, args.out, args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

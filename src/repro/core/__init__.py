@@ -6,6 +6,7 @@ deadline scheduling, and hierarchical control.
 """
 
 from .adaptation import RateAdaptation, ResolutionAdaptation, RiskCoverageAdaptation
+from .clock import Clock, SystemClock, VirtualClock
 from .codesign import (
     DesignSpace,
     LoopDesign,
@@ -34,6 +35,7 @@ __all__ = [
     "SensorReading", "Percept", "Action", "Sensor", "Perception", "Policy",
     "Actuator", "Monitor", "Environment",
     "CycleRecord", "LoopMetrics", "SensingToActionLoop",
+    "Clock", "SystemClock", "VirtualClock",
     "RateAdaptation", "RiskCoverageAdaptation", "ResolutionAdaptation",
     "CascadeModel", "staleness_error", "closed_loop_gain_estimate",
     "LoopSchedule", "Stage", "synchronization_delay",

@@ -1,0 +1,62 @@
+"""Injectable wall-clock abstraction.
+
+The loop orchestrator (and the serving scheduler built on top of it)
+time their work through a :class:`Clock` instead of calling
+``time.perf_counter()`` directly.  Production code uses
+:class:`SystemClock`; tests and virtual-time serving simulations use
+:class:`VirtualClock`, which only moves when explicitly advanced — so
+latency histograms, batching deadlines, and staleness fields become
+exact, deterministic quantities instead of host-dependent noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]
+
+
+class Clock:
+    """Monotonic time source: ``now()`` in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real monotonic time (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Manually advanced time for deterministic tests and simulation.
+
+    ``sleep`` advances the clock instead of blocking, so code written
+    against :class:`Clock` runs unmodified — just instantly — under
+    virtual time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+
+    def now(self) -> float:
+        return self._t
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._t += seconds
+        return self._t

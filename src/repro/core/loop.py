@@ -19,7 +19,6 @@ default) the instrumentation is a handful of no-op calls per cycle.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -27,6 +26,7 @@ import numpy as np
 
 from ..hardware.energy import EnergyLedger
 from ..obs.registry import Histogram, get_registry
+from .clock import Clock, SystemClock
 from .components import (
     Action,
     Actuator,
@@ -123,6 +123,10 @@ class SensingToActionLoop:
     obs:
         Metrics registry receiving spans and instruments; defaults to
         the process-wide active registry (a no-op unless enabled).
+    clock:
+        Wall-clock source for the ``loop.cycle_wall_s`` timing; defaults
+        to :class:`SystemClock`.  Inject a :class:`VirtualClock` for
+        deterministic timing in tests and virtual-time serving runs.
     """
 
     def __init__(self, sensor: Sensor, perception: Perception, policy: Policy,
@@ -130,7 +134,7 @@ class SensingToActionLoop:
                  trust_threshold: float = 0.5,
                  compute_latency_s: float = 0.0,
                  period_s: float = 0.05,
-                 obs=None):
+                 obs=None, clock: Optional[Clock] = None):
         if period_s <= 0:
             raise ValueError("loop period must be positive")
         if compute_latency_s < 0 or compute_latency_s > period_s:
@@ -144,6 +148,7 @@ class SensingToActionLoop:
         self.compute_latency_s = compute_latency_s
         self.period_s = period_s
         self.obs = obs if obs is not None else get_registry()
+        self.clock = clock if clock is not None else SystemClock()
         self._next_directive: Dict[str, Any] = {}
         self.metrics = LoopMetrics()
         self.history: List[CycleRecord] = []
@@ -158,7 +163,7 @@ class SensingToActionLoop:
         t0 = self._t
         obs = self.obs
         ledger = self.metrics.energy
-        wall0 = time.perf_counter()
+        wall0 = self.clock.now()
         with obs.trace_span("loop.cycle", ledger=ledger):
             with obs.trace_span("loop.sense", ledger=ledger):
                 reading = self.sensor.sense(env, self._next_directive, t0)
@@ -213,7 +218,7 @@ class SensingToActionLoop:
         obs.counter("loop.cycles").inc()
         obs.histogram("loop.cycle_latency_s").observe(self.compute_latency_s)
         obs.histogram("loop.cycle_wall_s").observe(
-            time.perf_counter() - wall0)
+            self.clock.now() - wall0)
         return record
 
     def run(self, env: Environment, n_cycles: int) -> LoopMetrics:

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..kernels import active_backend, get_kernel, kernel_timer
 from ..nn.layers import BatchNorm, Conv2d, ConvTranspose2d, Module, ReLU
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam
@@ -52,6 +53,27 @@ class Norm2d(Module):
         flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
         out = self.bn.backward(flat)
         return out.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Pure batched inference normalization.
+
+        In training mode the per-sample ``forward`` normalizes each map
+        with statistics over its *own* spatial positions (its batch axis
+        is ``H*W``), so the batched equivalent computes per-sample
+        per-channel statistics — row ``i`` sees exactly what a
+        single-sample forward would, and served requests never couple
+        through their batch-mates.  Eval mode uses the frozen running
+        statistics.  Neither path mutates them.
+        """
+        if self.bn.training:
+            mu = x.mean(axis=(2, 3), keepdims=True)
+            var = x.var(axis=(2, 3), keepdims=True)
+        else:
+            mu = self.bn.running_mean[None, :, None, None]
+            var = self.bn.running_var[None, :, None, None]
+        xhat = (x - mu) / np.sqrt(var + self.bn.eps)
+        return (xhat * self.bn.gamma.data[None, :, None, None]
+                + self.bn.beta.data[None, :, None, None])
 
 
 @dataclass(frozen=True)
@@ -117,9 +139,9 @@ class RMAE(Module):
         """Mean-scatter sparse voxel features into a BEV map (1, C, H, W).
 
         Packed tensors (the vectorized sparse-conv output) take a
-        bincount/``np.add.at`` path; dict tensors keep the original
-        per-voxel loop, so the reference kernel backend reproduces the
-        golden traces bit-for-bit.
+        bincount/``np.add.at`` path; dict tensors dispatch through the
+        ``bev_scatter`` kernel pair, whose reference backend keeps the
+        original per-voxel loop so golden traces stay bit-for-bit.
         """
         ds = self.config.bev_downsample
         h, w = self.grid.nx // ds, self.grid.ny // ds
@@ -134,17 +156,14 @@ class RMAE(Module):
             acc[nz] /= counts_flat[nz][:, None]
             self._bev_cache = ("packed", coords, cell_id, counts_flat)
             return acc.T.reshape(1, c, h, w)
-        bev = np.zeros((c, h, w))
-        counts = np.zeros((h, w))
-        cells: Dict[Tuple[int, int], List] = {}
-        for (i, j, k), f in sparse.features.items():
-            cell = (i // ds, j // ds)
-            bev[:, cell[0], cell[1]] += f
-            counts[cell] += 1
-            cells.setdefault(cell, []).append((i, j, k))
-        nz = counts > 0
-        bev[:, nz] /= counts[nz]
-        self._bev_cache = ("dict", cells, counts, sparse)
+        backend = active_backend()
+        with kernel_timer("bev_scatter", "scatter"):
+            bev, counts, cache = get_kernel(
+                "bev_scatter", backend=backend).scatter(
+                    sparse.features, ds, h, w, c)
+        # The cache is backend-specific; tag it so backward dispatches
+        # to the implementation that produced it.
+        self._bev_cache = ("dict", backend, cache, counts)
         return bev[None, :, :, :]
 
     def bev_scatter_backward(self, grad_bev: np.ndarray):
@@ -155,14 +174,11 @@ class RMAE(Module):
             g = grad_bev[0].reshape(c, -1).T
             rows = g[cell_id] / counts_flat[cell_id][:, None]
             return SparseGrad(coords, rows)
-        _, cells, counts, sparse = self._bev_cache
-        grad: Dict[Tuple[int, int, int], np.ndarray] = {}
-        g = grad_bev[0]
-        for cell, coords in cells.items():
-            share = g[:, cell[0], cell[1]] / counts[cell]
-            for coord in coords:
-                grad[coord] = share.copy()
-        return grad
+        _, backend, cache, counts = self._bev_cache
+        with kernel_timer("bev_scatter", "scatter_backward"):
+            return get_kernel(
+                "bev_scatter", backend=backend).scatter_backward(
+                    grad_bev[0], cache, counts)
 
     # ---------------------------------------------------------- full forward
     def forward(self, cloud: VoxelizedCloud) -> np.ndarray:
@@ -193,6 +209,39 @@ class RMAE(Module):
                               threshold: float = 0.5) -> np.ndarray:
         """Binary occupancy prediction (nx, ny, nz)."""
         return self.occupancy_probability(cloud) > threshold
+
+    # --------------------------------------------------------- batched paths
+    def bev_scatter_batch(self, clouds: List[VoxelizedCloud]) -> np.ndarray:
+        """Sparse-encode each cloud and stack the BEV maps (B, C, H, W).
+
+        The submanifold encoder is inherently per-cloud (each cloud has
+        its own active-site set), but everything after the scatter is a
+        dense stack — callers batch the expensive dense stages over the
+        result.  Pure: the per-sample scatter cache used by training
+        backward passes is left untouched.
+        """
+        saved = self._bev_cache
+        try:
+            maps = [self.bev_scatter(self.encode(cloud)) for cloud in clouds]
+        finally:
+            self._bev_cache = saved
+        return np.concatenate(maps, axis=0)
+
+    def occupancy_probability_batch(self, clouds: List[VoxelizedCloud]
+                                    ) -> np.ndarray:
+        """Batched occupancy probabilities, (B, nx, ny, nz).
+
+        One decoder pass over the stacked BEV latents replaces B
+        per-sample passes; row ``i`` matches
+        :meth:`occupancy_probability` on ``clouds[i]`` within kernel
+        drift tolerances.
+        """
+        if not clouds:
+            return np.zeros((0, self.grid.nx, self.grid.ny, self.grid.nz))
+        bev = self.bev_scatter_batch(clouds)
+        logits = self.decoder.forward_batch(bev)
+        prob = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        return prob.transpose(0, 2, 3, 1)
 
     def training_step(self, masked: VoxelizedCloud,
                       full_occupancy: np.ndarray,

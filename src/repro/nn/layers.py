@@ -51,6 +51,26 @@ class Module:
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Pure batched inference forward.
+
+        Contract (the serving runtime relies on all three points):
+
+        * a leading batch axis is carried through — row ``i`` of the
+          output is what the per-sample :meth:`forward` would produce
+          for row ``i`` alone (up to BLAS re-association);
+        * **no instance state is touched**: backward caches, running
+          statistics, and RNG streams are left exactly as they were, so
+          a batched inference can interleave with an in-flight training
+          forward/backward pair without corrupting it;
+        * stochastic layers (dropout) run in inference mode.
+
+        Layers without an override are rejected loudly rather than
+        silently falling back to the stateful ``forward``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward_batch")
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
@@ -152,6 +172,12 @@ class Dense(Module):
             y = y + self.bias.data
         return y
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x = self._x
         # Collapse any leading batch dims for the weight gradient.
@@ -174,6 +200,9 @@ class ReLU(Module):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad * self._mask
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, 0.0)
+
 
 class LeakyReLU(Module):
     def __init__(self, slope: float = 0.01):
@@ -187,6 +216,9 @@ class LeakyReLU(Module):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return np.where(self._mask, grad, self.slope * grad)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, self.slope * x)
+
 
 class Tanh(Module):
     def __init__(self):
@@ -199,6 +231,9 @@ class Tanh(Module):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad * (1.0 - self._y ** 2)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
 
 class Sigmoid(Module):
     def __init__(self):
@@ -210,6 +245,9 @@ class Sigmoid(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad * self._y * (1.0 - self._y)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
 
 
 class Softplus(Module):
@@ -225,6 +263,9 @@ class Softplus(Module):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad / (1.0 + np.exp(-np.clip(self._x, -60.0, 60.0)))
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.logaddexp(0.0, x)
+
 
 class Identity(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -232,6 +273,9 @@ class Identity(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return x
 
 
 class Dropout(Module):
@@ -256,6 +300,11 @@ class Dropout(Module):
         if self._mask is None:
             return grad
         return grad * self._mask
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        # Inference semantics: inverted dropout is already rescaled, so
+        # serving simply passes activations through.
+        return x
 
 
 class LayerNorm(Module):
@@ -287,6 +336,14 @@ class LayerNorm(Module):
             - gx.mean(axis=-1, keepdims=True)
             - xhat * (gx * xhat).mean(axis=-1, keepdims=True)
         )
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        # Normalization is per-row over the last axis, so batching is
+        # free: the same expression, minus the backward cache.
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        xhat = (x - mu) / np.sqrt(var + self.eps)
+        return xhat * self.gamma.data + self.beta.data
 
 
 class BatchNorm(Module):
@@ -333,6 +390,19 @@ class BatchNorm(Module):
         dx = inv * (gx - gx.mean(axis=0) - flat_xhat * (gx * flat_xhat).mean(axis=0))
         return dx.reshape(shape)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Inference normalization against the frozen running statistics.
+
+        Per-sample batch statistics would couple the rows of a served
+        batch to each other (a request's answer would depend on its
+        batch-mates), so batched inference always normalizes with the
+        running estimates — matching the per-sample ``forward`` in eval
+        mode and leaving them untouched.
+        """
+        mu, var = self.running_mean, self.running_var
+        xhat = (x - mu) / np.sqrt(var + self.eps)
+        return xhat * self.gamma.data + self.beta.data
+
 
 class Flatten(Module):
     def __init__(self):
@@ -344,6 +414,9 @@ class Flatten(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad.reshape(self._shape)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
@@ -405,6 +478,15 @@ class Conv2d(Module):
         self._cache = (x.shape, cols)
         return out.reshape(x.shape[0], self.out_ch, ho, wo)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride,
+                               self.pad)
+        w = self.weight.data.reshape(self.out_ch, -1)
+        out = np.einsum("of,nfp->nop", w, cols)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        return out.reshape(x.shape[0], self.out_ch, ho, wo)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_shape, cols = self._cache
         n = grad.shape[0]
@@ -454,6 +536,18 @@ class ConvTranspose2d(Module):
         self._cache = (x, (n, self.out_ch, ho, wo))
         return out
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        ho, wo = self.out_size(h), self.out_size(w)
+        wmat = self.weight.data.reshape(self.in_ch, -1)
+        g = x.reshape(n, self.in_ch, -1)
+        dcols = np.einsum("if,nip->nfp", wmat, g)
+        out = _col2im(dcols, (n, self.out_ch, ho, wo), self.kernel,
+                      self.kernel, self.stride, self.pad)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        return out
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x, out_shape = self._cache
         n = x.shape[0]
@@ -483,6 +577,13 @@ class MaxPool2d(Module):
         self._cache = (x.shape, idx, ho, wo)
         return out.reshape(n, c, ho, wo)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        n, c = x.shape[:2]
+        k2 = self.kernel * self.kernel
+        out = cols.reshape(n, c, k2, ho * wo).max(axis=2)
+        return out.reshape(n, c, ho, wo)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_shape, idx, ho, wo = self._cache
         n, c = x_shape[:2]
@@ -505,6 +606,13 @@ class AvgPool2d(Module):
         k2 = self.kernel * self.kernel
         out = cols.reshape(n, c, k2, ho * wo).mean(axis=2)
         self._cache = (x.shape, ho, wo)
+        return out.reshape(n, c, ho, wo)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        cols, ho, wo = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        n, c = x.shape[:2]
+        k2 = self.kernel * self.kernel
+        out = cols.reshape(n, c, k2, ho * wo).mean(axis=2)
         return out.reshape(n, c, ho, wo)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -553,6 +661,15 @@ class GRUCell(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         h = np.zeros(x.shape[:-1] + (self.hidden_dim,))
         return self.step(x, h)
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        h = np.zeros(x.shape[:-1] + (self.hidden_dim,))
+        xh = np.concatenate([x, h], axis=-1)
+        z = self._sig(xh @ self.w_z.data + self.b_z.data)
+        r = self._sig(xh @ self.w_r.data + self.b_r.data)
+        xrh = np.concatenate([x, r * h], axis=-1)
+        hbar = np.tanh(xrh @ self.w_h.data + self.b_h.data)
+        return (1 - z) * h + z * hbar
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x, h, z, r, hbar, xh, xrh = self._cache

@@ -26,6 +26,13 @@ class Sequential(Module):
             x = layer.forward(x)
         return x
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Pure batched inference through the chain (see
+        :meth:`Module.forward_batch` for the contract)."""
+        for layer in self.layers:
+            x = layer.forward_batch(x)
+        return x
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)

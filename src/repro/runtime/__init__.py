@@ -12,7 +12,7 @@ sees the speedup.
 """
 
 from .bench import (BENCHES, DEFAULT_BENCHES, MICRO_BENCHES,
-                    run_bench, run_suite)
+                    SERVING_BENCHES, run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
     CACHE_ENV,
@@ -33,6 +33,6 @@ __all__ = [
     "cached_fit", "cached_build", "fingerprint",
     "CACHE_DIR_ENV", "CACHE_ENV",
     "spawn_seeds", "spawn_rngs", "assert_private_rngs",
-    "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "run_bench",
-    "run_suite",
+    "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
+    "run_bench", "run_suite",
 ]

@@ -25,8 +25,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .pool import WorkerPool
 
-__all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "run_bench",
-           "run_suite"]
+__all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
+           "run_bench", "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -57,6 +57,8 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "fig9_optical_flow": ("bench_fig9_optical_flow", "run_fig9"),
     "ablation_masking": ("bench_ablation_masking", "run_ablation"),
     "kernel_hotpaths": ("bench_kernel_hotpaths", "run_kernel_hotpaths"),
+    "serving_throughput": ("bench_serving_throughput",
+                           "run_serving_throughput"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -70,6 +72,11 @@ DEFAULT_BENCHES: Tuple[str, ...] = (
 # DEFAULT_BENCHES: their results are timings, so the cross-worker
 # bit-identity promise above does not apply to them.
 MICRO_BENCHES: Tuple[str, ...] = ("kernel_hotpaths",)
+
+# Serving benchmarks (``repro bench --serving``).  Also timing-valued,
+# and they spawn their own service threads — keep them out of the
+# deterministic default set for the same reason as MICRO_BENCHES.
+SERVING_BENCHES: Tuple[str, ...] = ("serving_throughput",)
 
 
 def benchmarks_dir() -> str:

@@ -1,0 +1,226 @@
+"""Multi-loop serving benchmark driver.
+
+Runs N concurrent :class:`SensingToActionLoop` instances whose trust
+monitor is served two ways over the *same* deterministic environment
+streams:
+
+* **serial** — every loop calls the STARNet monitor directly, one
+  request at a time (the per-request baseline);
+* **batched** — the loops run on threads and share one
+  :class:`BatchedService` whose worker coalesces their concurrent
+  ``assess`` calls into :meth:`STARNet.assess_batch` micro-batches.
+
+The monitor scores with the deterministic ``exact`` likelihood-regret
+method, and the environments evolve independently of the actions, so
+both modes see identical request streams — the per-request trust values
+must agree to kernel drift tolerance (``equivalence_max_abs_diff``), and
+the wall-clock ratio is a clean batching speedup, not a workload change.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..core.components import (
+    Action,
+    Actuator,
+    Environment,
+    Percept,
+    Perception,
+    Policy,
+    Sensor,
+    SensorReading,
+)
+from ..core.loop import SensingToActionLoop
+from ..starnet.monitor import STARNet
+from .scheduler import BatchedService, BatcherConfig
+from .services import BatchedMonitor, monitor_runner
+
+__all__ = ["ServingBenchConfig", "FeatureEnv", "run_serving_benchmark"]
+
+EQUIVALENCE_TOL = 1e-6  # matches the kernel drift tolerance class
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Workload shape and scheduler knobs for the serving benchmark."""
+
+    n_loops: int = 8
+    cycles_per_loop: int = 25
+    feature_dim: int = 6
+    max_batch_size: int = 8
+    max_wait_ms: float = 50.0
+    max_queue_depth: int = 64
+    fit_epochs: int = 15
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ServingBenchConfig":
+        """Tiny variant for CI smoke runs (seconds, not minutes).
+
+        ``max_batch_size`` matches ``n_loops`` so batches fill instead
+        of waiting out the ``max_wait_ms`` deadline every time — with
+        fewer concurrent clients than the batch size, the coalescing
+        delay dominates and batching cannot pay for itself.
+        """
+        return cls(n_loops=4, cycles_per_loop=4, max_batch_size=4,
+                   fit_epochs=5)
+
+
+class FeatureEnv(Environment):
+    """Seeded feature-vector drift, independent of the loop's actions.
+
+    Action-independence is what lets the serial and batched modes be
+    compared request-for-request: both see the same sensor streams.
+    """
+
+    def __init__(self, feature_dim: int, seed: int):
+        self._rng = np.random.default_rng(seed)
+        self._state = self._rng.normal(size=feature_dim)
+
+    def observe_state(self) -> np.ndarray:
+        return self._state.copy()
+
+    def advance(self, dt: float) -> None:
+        self._state = (0.95 * self._state
+                       + 0.3 * self._rng.normal(size=self._state.shape))
+
+
+class _StateSensor(Sensor):
+    def sense(self, env: Environment, directive: Dict[str, Any],
+              t: float) -> SensorReading:
+        return SensorReading(data=env.observe_state(), timestamp=t)
+
+
+class _IdentityPerception(Perception):
+    def perceive(self, reading: SensorReading) -> Percept:
+        return Percept(features=np.asarray(reading.data))
+
+
+class _NullPolicy(Policy):
+    def act(self, percept: Percept, t: float) -> Action:
+        return Action(command=None)
+
+
+class _NullActuator(Actuator):
+    def actuate(self, env: Environment, action: Action, t: float) -> float:
+        return 0.0
+
+
+def _build_monitor(config: ServingBenchConfig) -> STARNet:
+    rng = np.random.default_rng(config.seed)
+    monitor = STARNet(config.feature_dim, score_method="exact",
+                      rng=np.random.default_rng(config.seed + 1))
+    nominal = rng.normal(size=(64, config.feature_dim))
+    monitor.fit(nominal, epochs=config.fit_epochs)
+    return monitor
+
+
+def _build_loop(monitor, config: ServingBenchConfig) -> SensingToActionLoop:
+    return SensingToActionLoop(
+        sensor=_StateSensor(), perception=_IdentityPerception(),
+        policy=_NullPolicy(), actuator=_NullActuator(), monitor=monitor,
+        period_s=0.05)
+
+
+def _run_serial(monitor: STARNet, config: ServingBenchConfig
+                ) -> Dict[str, Any]:
+    loops = [_build_loop(monitor, config) for _ in range(config.n_loops)]
+    envs = [FeatureEnv(config.feature_dim, config.seed + 100 + i)
+            for i in range(config.n_loops)]
+    t0 = time.perf_counter()
+    for loop, env in zip(loops, envs):
+        loop.run(env, config.cycles_per_loop)
+    wall = time.perf_counter() - t0
+    trust = [[r.trust for r in loop.history] for loop in loops]
+    requests = config.n_loops * config.cycles_per_loop
+    return {"wall_s": wall, "throughput_rps": requests / wall,
+            "mean_latency_ms": 1e3 * wall / requests, "trust": trust}
+
+
+def _run_batched(monitor: STARNet, config: ServingBenchConfig
+                 ) -> Dict[str, Any]:
+    loops = [_build_loop(None, config) for _ in range(config.n_loops)]
+    envs = [FeatureEnv(config.feature_dim, config.seed + 100 + i)
+            for i in range(config.n_loops)]
+    batcher_config = BatcherConfig(max_batch_size=config.max_batch_size,
+                                   max_wait_ms=config.max_wait_ms,
+                                   max_queue_depth=config.max_queue_depth)
+    errors: List[BaseException] = []
+
+    def drive(loop: SensingToActionLoop, env: Environment) -> None:
+        try:
+            loop.run(env, config.cycles_per_loop)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    with BatchedService(monitor_runner(monitor), batcher_config) as service:
+        for loop in loops:
+            loop.monitor = BatchedMonitor(service, timeout=60.0)
+        threads = [threading.Thread(target=drive, args=(loop, env))
+                   for loop, env in zip(loops, envs)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        batcher = service.batcher
+        quantiles = batcher.latency_quantiles()
+        stats = {
+            "wall_s": wall,
+            "throughput_rps": config.n_loops * config.cycles_per_loop / wall,
+            "p50_ms": 1e3 * quantiles["p50"],
+            "p95_ms": 1e3 * quantiles["p95"],
+            "p99_ms": 1e3 * quantiles["p99"],
+            "mean_batch_size": batcher.batch_sizes.mean,
+            "batches": batcher.batch_count,
+            "requests": batcher.request_count,
+            "shed": batcher.shed_count,
+        }
+    stats["trust"] = [[r.trust for r in loop.history] for loop in loops]
+    return stats
+
+
+def run_serving_benchmark(config: ServingBenchConfig = ServingBenchConfig()
+                          ) -> Dict[str, Any]:
+    """Serial-vs-batched serving comparison; returns the JSON payload.
+
+    ``speedup`` is batched throughput over serial throughput for the
+    identical request streams; ``equivalence_max_abs_diff`` is the
+    largest per-request trust discrepancy between the two modes (BLAS
+    re-association drift only — bounded by ``EQUIVALENCE_TOL``).
+    """
+    monitor = _build_monitor(config)
+    serial = _run_serial(monitor, config)
+    batched = _run_batched(monitor, config)
+    serial_trust = np.array(serial.pop("trust"))
+    batched_trust = np.array(batched.pop("trust"))
+    equivalence = float(np.max(np.abs(serial_trust - batched_trust)))
+    speedup = batched["throughput_rps"] / serial["throughput_rps"]
+    return {
+        "config": {
+            "n_loops": config.n_loops,
+            "cycles_per_loop": config.cycles_per_loop,
+            "requests": config.n_loops * config.cycles_per_loop,
+            "feature_dim": config.feature_dim,
+            "max_batch_size": config.max_batch_size,
+            "max_wait_ms": config.max_wait_ms,
+            "max_queue_depth": config.max_queue_depth,
+            "seed": config.seed,
+        },
+        "serial": serial,
+        "batched": batched,
+        "speedup": speedup,
+        "equivalence_max_abs_diff": equivalence,
+        "equivalence_tol": EQUIVALENCE_TOL,
+        "equivalence_ok": equivalence <= EQUIVALENCE_TOL,
+        "p95_within_max_wait": batched["p95_ms"] <= config.max_wait_ms,
+    }

@@ -124,3 +124,27 @@ class STARNet(Monitor):
         obs.histogram("starnet.trust").observe(trust)
         obs.histogram("starnet.zscore").observe(z)
         return trust
+
+    def assess_batch(self, percepts: List[Percept]) -> np.ndarray:
+        """Trust values for a batch of percepts in one scoring pass.
+
+        Row ``i`` matches :meth:`assess` on ``percepts[i]`` within the
+        ``likelihood_regret`` kernel drift tolerance (bit-identical for
+        the deterministic ``exact``/``recon`` methods; ``spsa`` consumes
+        its RNG in a different order than sequential calls).  This is the
+        monitor's micro-batch runner for the serving runtime.
+        """
+        if not percepts:
+            return np.zeros(0)
+        obs = get_registry()
+        feats = np.stack([np.asarray(p.features, dtype=np.float64)
+                          for p in percepts])
+        with obs.trace_span("starnet.assess_batch"):
+            scores = self._raw_score_batch(self._normalize(feats))
+            z = (scores - self._cal_mean) / self._cal_std
+            trust = 1.0 / (1.0 + np.exp(np.clip(z - 3.0, -60, 60)))
+        obs.counter("starnet.assessments").inc(len(percepts))
+        for ti, zi in zip(trust, z):
+            obs.histogram("starnet.trust").observe(float(ti))
+            obs.histogram("starnet.zscore").observe(float(zi))
+        return trust
