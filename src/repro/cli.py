@@ -18,10 +18,11 @@ writing any code:
   bit-identical to serial, ``--out`` keeps the aggregated JSON.
   Suite aliases select the timing-valued benches that are kept out of
   the default set: ``--micro`` appends the kernel micro-benchmarks
-  (``MICRO_BENCHES``) and ``--serving`` appends the serving-throughput
-  benches (``SERVING_BENCHES``); ``--help-names`` lists every
-  registered name with its ``[default]``/``[micro]``/``[serving]``
-  tag;
+  (``MICRO_BENCHES``), ``--serving`` appends the serving-throughput
+  benches (``SERVING_BENCHES``), and ``--fleet`` appends the
+  fleet-scaling benches (``FLEET_BENCHES``); ``--help-names`` lists
+  every registered name with its
+  ``[default]``/``[micro]``/``[serving]``/``[fleet]`` tag;
 * ``serve-bench``       — run the micro-batched serving benchmark (N
   concurrent loops sharing one :class:`repro.serve.BatchedService`)
   and print the serial-vs-batched comparison; ``--smoke`` runs the
@@ -29,6 +30,13 @@ writing any code:
   and p95 bounds all hold; 1 = a correctness/bound check failed
   (the throughput multiple is reported but never gates — wall-clock
   ratios jitter on shared hosts);
+* ``fleet-bench``       — run the sharded multi-process serving
+  benchmark (closed-loop clients over single-process vs 1/2/4-replica
+  fleets plus a staleness-budget load sweep); ``--smoke`` runs the
+  seconds-scale CI variant and ``--replicas`` overrides the replica
+  curve.  Exit codes: 0 = per-request equivalence and
+  zero-sheds-below-saturation hold; 1 = a correctness check failed
+  (the throughput multiple never gates here either);
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
@@ -354,6 +362,70 @@ def _run_serve_bench(smoke: bool, out: str, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _run_fleet_bench(smoke: bool, replicas, out: str,
+                     as_json: bool) -> int:
+    from repro.fleet import FleetBenchConfig, run_fleet_benchmark
+
+    if replicas and min(replicas) < 1:
+        print(f"invalid --replicas {' '.join(map(str, replicas))}: "
+              "counts must be >= 1", file=sys.stderr)
+        return 2
+    if smoke:
+        config = (FleetBenchConfig.smoke(tuple(replicas)) if replicas
+                  else FleetBenchConfig.smoke())
+    elif replicas:
+        config = FleetBenchConfig(replica_counts=tuple(replicas))
+    else:
+        config = FleetBenchConfig()
+    result = run_fleet_benchmark(config)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write fleet artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote fleet results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        cfg, single = result["config"], result["single_process"]
+        print(f"fleet benchmark ({'smoke' if smoke else 'full'}): "
+              f"{cfg['clients']} clients x {cfg['cycles_per_client']} "
+              f"cycles, batch {cfg['max_batch_size']}, device floor "
+              f"{cfg['per_batch_ms']:.0f}+{cfg['per_item_ms']:.0f}ms/item")
+        print(f"  single-process {single['throughput_rps']:8.0f} rps  "
+              f"p95 {single['p95_ms']:.1f}ms")
+        for count in cfg["replica_counts"]:
+            fr = result["fleet"][str(count)]
+            print(f"  fleet x{count}       {fr['throughput_rps']:8.0f} rps  "
+                  f"p95 {fr['p95_ms']:.1f}ms  speedup {fr['speedup']:.2f}x "
+                  f" shed {fr['shed']}  spills {fr['spills']}")
+        for point in result["load_sweep"]["points"]:
+            print(f"  sweep {point['fraction']:.2f}x   "
+                  f"offered {point['offered_rps']:6.0f} rps  served "
+                  f"{point['served_rps']:6.0f} rps  shed {point['shed']}  "
+                  f"p95 {point['p95_ms']:.1f}ms")
+        print(f"  speedup@max {result['speedup_at_max_replicas']:.2f}x  "
+              f"equivalence max|diff| "
+              f"{result['equivalence_max_abs_diff']:.2e}  "
+              f"sheds below saturation "
+              f"{result['closed_loop_sheds'] + result['sub_saturation_sweep_sheds']}")
+    # Same gating contract as serve-bench: correctness claims exit
+    # non-zero, the wall-clock multiple is informational.
+    ok = (result["equivalence_ok"]
+          and result["zero_sheds_below_saturation"])
+    if not ok:
+        print("fleet-bench FAILED: "
+              f"equivalence_ok={result['equivalence_ok']} "
+              f"closed_loop_sheds={result['closed_loop_sheds']} "
+              f"sub_saturation_sweep_sheds="
+              f"{result['sub_saturation_sweep_sheds']}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -423,9 +495,14 @@ def main(argv=None) -> int:
                        help="include the serving-throughput suite "
                             "(SERVING_BENCHES: alone when no names are "
                             "given, appended otherwise)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="include the fleet-scaling suite "
+                            "(FLEET_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names with their "
-                            "[default]/[micro]/[serving] tags and exit")
+                            "[default]/[micro]/[serving]/[fleet] tags "
+                            "and exit")
     serve = sub.add_parser(
         "serve-bench",
         help="run the micro-batched serving benchmark (serial vs "
@@ -437,6 +514,22 @@ def main(argv=None) -> int:
     serve.add_argument("--out", default="",
                        help="write the full results JSON here")
     serve.add_argument("--json", action="store_true",
+                       help="emit the full results JSON on stdout")
+    fleet = sub.add_parser(
+        "fleet-bench",
+        help="run the sharded multi-process serving benchmark "
+             "(single-process vs replica fleets + staleness load "
+             "sweep); exits 1 if equivalence or "
+             "zero-sheds-below-saturation fails")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="seconds-scale CI variant (fewer clients "
+                            "and cycles, smaller device floor)")
+    fleet.add_argument("--replicas", type=int, nargs="+", default=None,
+                       help="replica counts for the scaling curve "
+                            "(default: 1 2 for smoke, 1 2 4 for full)")
+    fleet.add_argument("--out", default="",
+                       help="write the full results JSON here")
+    fleet.add_argument("--json", action="store_true",
                        help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
@@ -497,13 +590,16 @@ def main(argv=None) -> int:
     if args.command == "bench":
         if args.help_names:
             from repro.runtime import (BENCHES, DEFAULT_BENCHES,
-                                       MICRO_BENCHES, SERVING_BENCHES)
+                                       FLEET_BENCHES, MICRO_BENCHES,
+                                       SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
                     tag = "  [micro]"
                 if name in SERVING_BENCHES:
                     tag = "  [serving]"
+                if name in FLEET_BENCHES:
+                    tag = "  [fleet]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
@@ -513,9 +609,15 @@ def main(argv=None) -> int:
         if args.serving:
             from repro.runtime import SERVING_BENCHES
             names.extend(n for n in SERVING_BENCHES if n not in names)
+        if args.fleet:
+            from repro.runtime import FLEET_BENCHES
+            names.extend(n for n in FLEET_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
     if args.command == "serve-bench":
         return _run_serve_bench(args.smoke, args.out, args.json)
+    if args.command == "fleet-bench":
+        return _run_fleet_bench(args.smoke, args.replicas, args.out,
+                                args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

@@ -1,0 +1,54 @@
+"""``repro.fleet`` — sharded multi-process serving fabric.
+
+One :class:`~repro.serve.BatchedService` batches many loops in one
+process; this package shards that service across a fleet of replica
+processes behind a staleness-aware router, operationalizing the paper's
+Sec. II argument that loop *latency and observation staleness* — not
+just model error — bound closed-loop autonomy: a request that cannot be
+served inside its staleness budget is shed (or downgraded to a cheap
+fallback method) instead of served late.
+
+Layers:
+
+* :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`, the pure,
+  clock-injected routing/admission core (consistent hashing + SLO lanes
+  + staleness admission + backpressure), unit-testable on a
+  :class:`~repro.core.clock.VirtualClock`.
+* :mod:`repro.fleet.shm` — :class:`ShmSlab`, the fixed-slot
+  shared-memory ring that carries payloads so control messages stay
+  tiny.
+* :mod:`repro.fleet.replica` — the replica-side micro-batching service
+  loop (process- and thread-runnable).
+* :mod:`repro.fleet.fabric` — :class:`ServingFleet`, the process fabric
+  tying router, replicas, transport, and telemetry merge together.
+* :mod:`repro.fleet.driver` — the scaling benchmark behind
+  ``repro fleet-bench`` and ``benchmarks/bench_fleet_scaling.py``.
+"""
+
+from .driver import (
+    EmulatedServiceRunner,
+    FleetBenchConfig,
+    MonitorRunnerFactory,
+    run_fleet_benchmark,
+)
+from .fabric import FleetReplicaError, RequestShed, ServingFleet
+from .replica import ReplicaSpec, replica_loop, replica_main
+from .scheduler import (
+    DEFAULT_LANES,
+    ConsistentHashRing,
+    Decision,
+    FleetConfig,
+    FleetScheduler,
+    SLOLane,
+)
+from .shm import SHM_AVAILABLE, ShmSlab, shm_available
+
+__all__ = [
+    "SLOLane", "DEFAULT_LANES", "FleetConfig", "Decision",
+    "ConsistentHashRing", "FleetScheduler",
+    "SHM_AVAILABLE", "ShmSlab", "shm_available",
+    "ReplicaSpec", "replica_loop", "replica_main",
+    "RequestShed", "FleetReplicaError", "ServingFleet",
+    "FleetBenchConfig", "MonitorRunnerFactory", "EmulatedServiceRunner",
+    "run_fleet_benchmark",
+]

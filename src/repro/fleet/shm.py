@@ -1,0 +1,138 @@
+"""Shared-memory payload plane for the serving fleet.
+
+Request and response payloads cross the router/replica process boundary
+through a :class:`ShmSlab` — a fixed-slot ring carved out of one
+``multiprocessing.shared_memory`` segment — instead of being pickled
+through the control queue.  Control messages stay tiny (sequence
+number, slot index, shape, dtype); the array bytes are written once by
+the producer and read once by the consumer, which is what keeps the
+per-request router overhead flat as feature payloads grow.
+
+Slot lifecycle is owned entirely by the router: a slot is in use from
+dispatch until its response has been consumed, and the scheduler's
+per-replica in-flight cap equals the slot count, so a slot can never be
+reused while a request is still in flight.  Replicas write the response
+into the same slot the request arrived in (the request bytes are dead
+the moment the batch runner has copied them out).
+
+Environments without ``multiprocessing.shared_memory`` (or payloads
+larger than a slot) degrade gracefully: the transport falls back to
+inline descriptors, trading copies for compatibility.  Check
+:data:`SHM_AVAILABLE` or call :func:`shm_available` before forcing the
+``"shm"`` transport.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # gate the optional dependency: WASM-ish hosts lack shm entirely
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised only on exotic hosts
+    _shared_memory = None
+
+__all__ = ["SHM_AVAILABLE", "ShmSlab", "shm_available"]
+
+SHM_AVAILABLE = _shared_memory is not None
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can back a slab."""
+    return SHM_AVAILABLE
+
+
+class ShmSlab:
+    """Fixed-slot shared-memory ring: ``nslots`` slots of ``slot_bytes``.
+
+    The creating side (the router) calls ``ShmSlab(nslots, slot_bytes)``
+    and eventually :meth:`unlink`; replicas attach by name with
+    ``ShmSlab.attach(name, nslots, slot_bytes)`` and only :meth:`close`.
+    Payloads are raw array bytes — shape and dtype travel in the control
+    message, so a slot needs no header.
+    """
+
+    def __init__(self, nslots: int, slot_bytes: int,
+                 name: Optional[str] = None, _attach: bool = False):
+        if _shared_memory is None:
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "host; use the inline ('pickle') fleet transport")
+        if nslots < 1 or slot_bytes < 8:
+            raise ValueError("need nslots >= 1 and slot_bytes >= 8")
+        self.nslots = int(nslots)
+        self.slot_bytes = int(slot_bytes)
+        if _attach:
+            # Replicas are children of the router, so they share its
+            # resource-tracker process: attaching re-registers the same
+            # name in the same tracker (a set, so a no-op) and the
+            # router's unlink() clears it exactly once.  Unregistering
+            # here would strip the shared cache entry out from under
+            # the router's unlink.
+            self._shm = _shared_memory.SharedMemory(name=name)
+        else:
+            self._shm = _shared_memory.SharedMemory(
+                create=True, size=self.nslots * self.slot_bytes, name=name)
+        self._unlinked = False
+
+    @classmethod
+    def attach(cls, name: str, nslots: int, slot_bytes: int) -> "ShmSlab":
+        """Open an existing slab by name (replica side)."""
+        return cls(nslots, slot_bytes, name=name, _attach=True)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # --------------------------------------------------------------- I/O
+    def fits(self, arr: np.ndarray) -> bool:
+        """Whether ``arr``'s bytes fit in one slot."""
+        return arr.nbytes <= self.slot_bytes
+
+    def write(self, slot: int, arr: np.ndarray
+              ) -> Tuple[Tuple[int, ...], str]:
+        """Copy ``arr`` into ``slot``; returns the (shape, dtype)
+        descriptor the reader needs."""
+        arr = np.ascontiguousarray(arr)
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} out of range 0..{self.nslots - 1}")
+        if arr.nbytes > self.slot_bytes:
+            raise ValueError(
+                f"payload of {arr.nbytes} bytes exceeds slot size "
+                f"{self.slot_bytes}")
+        offset = slot * self.slot_bytes
+        self._shm.buf[offset:offset + arr.nbytes] = arr.tobytes()
+        return tuple(arr.shape), arr.dtype.str
+
+    def read(self, slot: int, shape: Tuple[int, ...], dtype: str
+             ) -> np.ndarray:
+        """Copy the array stored in ``slot`` back out (owning copy)."""
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} out of range 0..{self.nslots - 1}")
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        if nbytes > self.slot_bytes:
+            raise ValueError("descriptor larger than a slot")
+        offset = slot * self.slot_bytes
+        flat = np.frombuffer(self._shm.buf, dtype=dt,
+                             count=nbytes // dt.itemsize, offset=offset)
+        return flat.reshape(shape).copy()
+
+    # --------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Detach this process's mapping (safe to call twice)."""
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - double close on teardown
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; safe to call twice)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass

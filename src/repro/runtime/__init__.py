@@ -11,7 +11,7 @@ tasks, per-worker wall time, and cache hits/misses so ``repro profile``
 sees the speedup.
 """
 
-from .bench import (BENCHES, DEFAULT_BENCHES, MICRO_BENCHES,
+from .bench import (BENCHES, DEFAULT_BENCHES, FLEET_BENCHES, MICRO_BENCHES,
                     SERVING_BENCHES, run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
@@ -24,15 +24,15 @@ from .cache import (
     get_cache,
     resolve_cache,
 )
-from .pool import TaskFailure, WorkerPool, resolve_workers
+from .pool import TaskFailure, WorkerError, WorkerPool, resolve_workers
 from .seeding import assert_private_rngs, spawn_rngs, spawn_seeds
 
 __all__ = [
-    "WorkerPool", "TaskFailure", "resolve_workers",
+    "WorkerPool", "TaskFailure", "WorkerError", "resolve_workers",
     "ArtifactCache", "get_cache", "resolve_cache", "cache_enabled",
     "cached_fit", "cached_build", "fingerprint",
     "CACHE_DIR_ENV", "CACHE_ENV",
     "spawn_seeds", "spawn_rngs", "assert_private_rngs",
     "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
-    "run_bench", "run_suite",
+    "FLEET_BENCHES", "run_bench", "run_suite",
 ]

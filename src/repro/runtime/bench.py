@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from .pool import WorkerPool
 
 __all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
-           "run_bench", "run_suite"]
+           "FLEET_BENCHES", "run_bench", "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -59,6 +59,7 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "kernel_hotpaths": ("bench_kernel_hotpaths", "run_kernel_hotpaths"),
     "serving_throughput": ("bench_serving_throughput",
                            "run_serving_throughput"),
+    "fleet_scaling": ("bench_fleet_scaling", "run_fleet_scaling"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -77,6 +78,11 @@ MICRO_BENCHES: Tuple[str, ...] = ("kernel_hotpaths",)
 # and they spawn their own service threads — keep them out of the
 # deterministic default set for the same reason as MICRO_BENCHES.
 SERVING_BENCHES: Tuple[str, ...] = ("serving_throughput",)
+
+# Fleet benchmarks (``repro bench --fleet``).  Timing-valued *and*
+# process-spawning (replica fleets of their own), so they must never
+# run nested inside a pool worker by default.
+FLEET_BENCHES: Tuple[str, ...] = ("fleet_scaling",)
 
 
 def benchmarks_dir() -> str:

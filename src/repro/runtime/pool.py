@@ -30,24 +30,50 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs.registry import MetricsRegistry, get_registry, use_registry
 
-__all__ = ["WorkerPool", "TaskFailure", "resolve_workers"]
+__all__ = ["WorkerPool", "TaskFailure", "WorkerError", "resolve_workers"]
 
 WORKERS_ENV = "REPRO_WORKERS"
 
 
-class TaskFailure(RuntimeError):
-    """A pool task raised: carries the task label/index; the original
-    exception is chained as ``__cause__``."""
+class WorkerError(RuntimeError):
+    """A task raised inside a worker process.
 
-    def __init__(self, label: str, index: int, cause: BaseException):
-        super().__init__(
-            f"task {index} ({label}) failed: {cause!r}")
+    Carries the worker-side formatted traceback, because the original
+    exception's traceback does not survive the pickle trip back to the
+    parent — without it, a replica/task crash in CI is a one-line
+    mystery.
+    """
+
+    def __init__(self, message: str, worker_traceback: str = ""):
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+    def __reduce__(self):
+        return (WorkerError, (self.args[0] if self.args else "",
+                              self.worker_traceback))
+
+
+class TaskFailure(RuntimeError):
+    """A pool task raised: carries the task label/index and the
+    worker-side traceback text; the original exception is chained as
+    ``__cause__``."""
+
+    def __init__(self, label: str, index: int, cause: BaseException,
+                 worker_traceback: Optional[str] = None):
+        if worker_traceback is None:
+            worker_traceback = getattr(cause, "worker_traceback", None)
+        message = f"task {index} ({label}) failed: {cause!r}"
+        if worker_traceback:
+            message += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(message)
         self.label = label
         self.index = index
+        self.worker_traceback = worker_traceback
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -69,15 +95,24 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 def _run_in_worker(fn: Callable[[Any], Any], item: Any,
                    capture_obs: bool) -> Tuple[Any, Optional[dict], float]:
     """Executed inside a worker process: run one task, capturing its
-    telemetry under a private registry when the parent wants it."""
+    telemetry under a private registry when the parent wants it.
+
+    Task exceptions are re-raised as :class:`WorkerError` with the
+    formatted traceback attached, since only the wrapper's message —
+    not the original traceback object — survives pickling back to the
+    parent."""
     t0 = time.perf_counter()
-    if not capture_obs:
-        return fn(item), None, time.perf_counter() - t0
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        result = fn(item)
-    delta = registry.worker_snapshot()
-    return result, delta, time.perf_counter() - t0
+    try:
+        if not capture_obs:
+            return fn(item), None, time.perf_counter() - t0
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = fn(item)
+        delta = registry.worker_snapshot()
+        return result, delta, time.perf_counter() - t0
+    except Exception as exc:
+        raise WorkerError(f"{type(exc).__name__}: {exc}",
+                          traceback.format_exc()) from None
 
 
 class WorkerPool:
@@ -148,7 +183,9 @@ class WorkerPool:
                 result = fn(item)
             except Exception as exc:
                 obs.counter("runtime.task_failures").inc()
-                raise TaskFailure(label, index, exc) from exc
+                raise TaskFailure(
+                    label, index, exc,
+                    worker_traceback=traceback.format_exc()) from exc
             obs.histogram("runtime.task_wall_s").observe(
                 time.perf_counter() - t0)
             obs.counter("runtime.tasks_completed").inc()

@@ -91,6 +91,27 @@ def test_pool_task_failure_serial_path_too():
             pool.map(_boom, [1])
 
 
+def test_pool_failure_carries_worker_traceback():
+    # The original traceback object cannot cross the process boundary;
+    # the formatted text must, so CI logs show where the task died.
+    with WorkerPool(2) as pool:
+        with pytest.raises(TaskFailure) as exc_info:
+            pool.map(_boom, ["a", "b"])
+    failure = exc_info.value
+    assert failure.worker_traceback
+    assert "_boom" in failure.worker_traceback
+    assert "exploded" in failure.worker_traceback
+    assert "worker traceback" in str(failure)
+
+
+def test_pool_failure_carries_traceback_serially_too():
+    with WorkerPool(1) as pool:
+        with pytest.raises(TaskFailure) as exc_info:
+            pool.map(_boom, [1])
+    assert "_boom" in exc_info.value.worker_traceback
+    assert "exploded" in str(exc_info.value)
+
+
 def test_pool_merges_worker_obs_counters():
     registry = obs.MetricsRegistry()
     with obs.use_registry(registry):
