@@ -20,9 +20,11 @@ writing any code:
   the default set: ``--micro`` appends the kernel micro-benchmarks
   (``MICRO_BENCHES``), ``--serving`` appends the serving-throughput
   benches (``SERVING_BENCHES``), and ``--fleet`` appends the
-  fleet-scaling benches (``FLEET_BENCHES``); ``--help-names`` lists
-  every registered name with its
-  ``[default]``/``[micro]``/``[serving]``/``[fleet]`` tag;
+  fleet-scaling benches (``FLEET_BENCHES``), and ``--compile`` appends
+  the compile-stage benches (``COMPILE_BENCHES``); ``--help-names``
+  lists every registered name with its
+  ``[default]``/``[micro]``/``[serving]``/``[fleet]``/``[compile]``
+  tag;
 * ``serve-bench``       — run the micro-batched serving benchmark (N
   concurrent loops sharing one :class:`repro.serve.BatchedService`)
   and print the serial-vs-batched comparison; ``--smoke`` runs the
@@ -37,12 +39,21 @@ writing any code:
   curve.  Exit codes: 0 = per-request equivalence and
   zero-sheds-below-saturation hold; 1 = a correctness check failed
   (the throughput multiple never gates here either);
+* ``compile-bench``     — run the compile-stage benchmark (eager vs
+  traced vs fused vs fused+arena vs true-int8 over the same seeded
+  models); ``--smoke`` runs the seconds-scale CI variant.  Exit codes:
+  0 = float stages bit-match eager, the arena allocates nothing in
+  steady state, int8 drift stays inside every layer's analytic bound,
+  and fused+arena clears its speedup floor somewhere; 1 = a
+  correctness/bound/speedup check failed;
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
 * ``verify``            — golden-trace differential verification: replay
-  the five pillar scenarios serially, pooled, cached, and quantized,
-  diffing each against the committed goldens under ``tests/goldens/``
+  the five pillar scenarios serially, pooled, cached, quantized, under
+  both kernel backends, and compiled (``repro.compile`` artifacts vs
+  the eager float runs), diffing each against the committed goldens
+  under ``tests/goldens/``
   (``--update-goldens`` re-records them).  Exit codes: 0 = all checks
   pass, 1 = mismatches, 2 = bad usage — the same contract the README
   documents, so CI can gate on it;
@@ -426,6 +437,79 @@ def _run_fleet_bench(smoke: bool, replicas, out: str,
     return 0 if ok else 1
 
 
+def _run_compile_bench(smoke: bool, out: str, as_json: bool) -> int:
+    import importlib.util
+    import os
+
+    from repro.runtime.bench import benchmarks_dir
+
+    bench_dir = benchmarks_dir()
+    path = os.path.join(bench_dir, "bench_compile.py")
+    if not os.path.exists(path):
+        print(f"bench module not found: {path}", file=sys.stderr)
+        return 2
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)  # bench_compile imports bench_utils
+    spec = importlib.util.spec_from_file_location("bench_compile", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    result = module.run_compile_stages(smoke=smoke)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write compile artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote compile results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(f"compile benchmark ({'smoke' if smoke else 'full'}): "
+              f"median of {result['reps']} reps x {result['inner']} "
+              f"forwards")
+        for name, m in result["models"].items():
+            print(f"  {name}: {m['workload']}")
+            for stage, r in m["stages"].items():
+                extra = ""
+                if "steady_state_allocations" in r:
+                    extra = (f"  allocs {r['steady_state_allocations']}  "
+                             f"arena {r['arena_bytes'] / 1e3:.0f}kB")
+                diff = (f"  max|diff| {r['max_abs_diff']:.2e}"
+                        if "max_abs_diff" in r else "")
+                print(f"    {stage:12s} {r['wall_s'] * 1e6:9.1f}us  "
+                      f"{r['speedup']:5.2f}x{diff}{extra}")
+            for d in m["int8_layer_drift"]:
+                print(f"    int8 {d['layer']:20s} drift "
+                      f"{d['observed']:.2e} <= bound {d['bound']:.2e}  "
+                      f"({d['weight_bytes']}B int8 vs "
+                      f"{d['float_bytes']}B float)")
+    # Correctness and the steady-state speedup floor gate; per-stage
+    # wall-clock multiples are informational (host jitter).
+    models = result["models"].values()
+    float_ok = all(m["stages"][s]["max_abs_diff"]
+                   < result["float_equiv_tol"]
+                   for m in models
+                   for s in ("traced", "fused", "fused_arena"))
+    allocs_ok = all(m["stages"][s]["steady_state_allocations"] == 0
+                    for m in models for s in ("fused_arena", "int8"))
+    drift_ok = all(d["observed"] <= d["bound"]
+                   for m in models for d in m["int8_layer_drift"])
+    best = max(m["stages"]["fused_arena"]["speedup"] for m in models)
+    speedup_ok = best >= result["speedup_target"]
+    ok = float_ok and allocs_ok and drift_ok and speedup_ok
+    if not ok:
+        print("compile-bench FAILED: "
+              f"float_equivalent={float_ok} zero_steady_allocs={allocs_ok} "
+              f"int8_within_bound={drift_ok} "
+              f"best_fused_arena={best:.2f}x "
+              f"(target {result['speedup_target']:.1f}x)",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -499,10 +583,15 @@ def main(argv=None) -> int:
                        help="include the fleet-scaling suite "
                             "(FLEET_BENCHES: alone when no names are "
                             "given, appended otherwise)")
+    bench.add_argument("--compile", action="store_true",
+                       dest="compile_suite",
+                       help="include the compile-stage suite "
+                            "(COMPILE_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names with their "
-                            "[default]/[micro]/[serving]/[fleet] tags "
-                            "and exit")
+                            "[default]/[micro]/[serving]/[fleet]/"
+                            "[compile] tags and exit")
     serve = sub.add_parser(
         "serve-bench",
         help="run the micro-batched serving benchmark (serial vs "
@@ -531,6 +620,18 @@ def main(argv=None) -> int:
                        help="write the full results JSON here")
     fleet.add_argument("--json", action="store_true",
                        help="emit the full results JSON on stdout")
+    compile_p = sub.add_parser(
+        "compile-bench",
+        help="run the compile-stage benchmark (eager vs traced vs fused "
+             "vs fused+arena vs int8); exits 1 if a float-equivalence, "
+             "zero-allocation, drift-bound, or speedup check fails")
+    compile_p.add_argument("--smoke", action="store_true",
+                           help="seconds-scale CI variant (fewer reps "
+                                "and inner iterations)")
+    compile_p.add_argument("--out", default="",
+                           help="write the full results JSON here")
+    compile_p.add_argument("--json", action="store_true",
+                           help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk artifact cache "
@@ -560,7 +661,8 @@ def main(argv=None) -> int:
                         help="emit the report as JSON on stdout")
     verify.add_argument("--skip", default="",
                         help="comma-separated checks to skip "
-                             "(serial,pooled,cache,quantized,kernels)")
+                             "(serial,pooled,cache,quantized,kernels,"
+                             "compiled)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -589,9 +691,9 @@ def main(argv=None) -> int:
         return _run_profile(args.target, args.out, args.jsonl, args.cycles)
     if args.command == "bench":
         if args.help_names:
-            from repro.runtime import (BENCHES, DEFAULT_BENCHES,
-                                       FLEET_BENCHES, MICRO_BENCHES,
-                                       SERVING_BENCHES)
+            from repro.runtime import (BENCHES, COMPILE_BENCHES,
+                                       DEFAULT_BENCHES, FLEET_BENCHES,
+                                       MICRO_BENCHES, SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
@@ -600,6 +702,8 @@ def main(argv=None) -> int:
                     tag = "  [serving]"
                 if name in FLEET_BENCHES:
                     tag = "  [fleet]"
+                if name in COMPILE_BENCHES:
+                    tag = "  [compile]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
@@ -612,12 +716,17 @@ def main(argv=None) -> int:
         if args.fleet:
             from repro.runtime import FLEET_BENCHES
             names.extend(n for n in FLEET_BENCHES if n not in names)
+        if args.compile_suite:
+            from repro.runtime import COMPILE_BENCHES
+            names.extend(n for n in COMPILE_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
     if args.command == "serve-bench":
         return _run_serve_bench(args.smoke, args.out, args.json)
     if args.command == "fleet-bench":
         return _run_fleet_bench(args.smoke, args.replicas, args.out,
                                 args.json)
+    if args.command == "compile-bench":
+        return _run_compile_bench(args.smoke, args.out, args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

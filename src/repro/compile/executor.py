@@ -1,0 +1,297 @@
+"""Compiled execution: artifacts, the eager/compiled mode switch, routing.
+
+:class:`CompiledModule` ties the pieces together — trace at
+construction (loud :class:`~repro.compile.tracer.TraceError` on
+untraceable constructs), lower through the fusion planner, execute
+against a pre-planned :class:`~repro.compile.arena.BufferArena`.  It is
+deliberately **not** a :class:`repro.nn.Module`: wrapping must not
+double-count parameters when a host model holds both the original and
+the wrapper (``Module.parameters`` walks attributes), and a compiled
+artifact is inference-only — ``backward`` raises
+:class:`CompileError` instead of silently training against a stale
+graph.  Unknown attributes delegate to the wrapped module so call sites
+like the Koopman controller's ``model.proj.weight`` keep working.
+
+Mode selection mirrors the kernel registry: ``REPRO_COMPILE=eager|compiled``
+picks the process-wide default and :func:`compile_mode` scopes an
+override.  Under ``compiled`` mode, :class:`repro.nn.Sequential`
+forwards route here (see :func:`routed_forward`); artifacts are cached
+per live Sequential in a :class:`weakref.WeakKeyDictionary`, untraceable
+modules warn once (:class:`CompileFallbackWarning`) and fall back to
+eager, and graphs whose training-mode BatchNorm/Dropout make batched
+semantics diverge from the stateful per-sample ``forward`` bypass to
+eager for ``forward`` only.
+
+Counters live in a module-global :class:`CompileStats` (captures,
+fallbacks, runs, fused ops, int8 GEMMs, ...) — *not* in ``repro.obs``
+counters, which the golden traces snapshot; capture latency is recorded
+as a ``compile.capture_s`` histogram, which goldens ignore by design.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import Module
+from ..obs.registry import get_registry
+from .arena import BufferArena, FreshAllocator
+from .fusion import PRECISIONS, build_program
+from .tracer import TraceError, trace
+
+__all__ = [
+    "MODES", "COMPILE_ENV", "CompileError", "CompileFallbackWarning",
+    "active_mode", "compile_mode", "CompiledModule", "compile_module",
+    "CompileStats", "compile_stats", "reset_compile_stats",
+]
+
+MODES = ("eager", "compiled")
+COMPILE_ENV = "REPRO_COMPILE"
+
+_forced: Optional[str] = None  # compile_mode() override; checked first
+
+
+class CompileError(RuntimeError):
+    """Invalid use of a compiled artifact (training, bad mode/precision)."""
+
+
+class CompileFallbackWarning(RuntimeWarning):
+    """An untraceable module fell back to eager execution (loud, once)."""
+
+
+@dataclass
+class CompileStats:
+    """Process-wide compile telemetry (kept out of repro.obs counters so
+    golden traces stay byte-identical whether or not compilation ran)."""
+
+    captures: int = 0         # successful traces
+    fallbacks: int = 0        # TraceError -> eager fallbacks
+    eager_bypasses: int = 0   # forward() bypasses (training-mode BN/dropout)
+    runs: int = 0             # compiled executions
+    fused_elementwise: int = 0
+    int8_gemms: int = 0       # int8 GEMM stage executions
+    recompiles: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(vars(self))
+
+    def delta(self, before: dict) -> dict:
+        return {k: v - before.get(k, 0) for k, v in vars(self).items()}
+
+
+_STATS = CompileStats()
+
+
+def compile_stats() -> CompileStats:
+    return _STATS
+
+
+def reset_compile_stats() -> None:
+    global _STATS
+    _STATS = CompileStats()
+
+
+def active_mode() -> str:
+    """Resolve the execution mode: forced override, then env, then eager."""
+    if _forced is not None:
+        return _forced
+    raw = os.environ.get(COMPILE_ENV, "").strip().lower()
+    if not raw:
+        return "eager"
+    if raw not in MODES:
+        raise CompileError(
+            f"invalid {COMPILE_ENV}={raw!r}; choose from {MODES}")
+    return raw
+
+
+@contextmanager
+def compile_mode(mode: str):
+    """Scoped mode override, nestable; mirrors ``kernel_backend()``."""
+    if mode not in MODES:
+        raise CompileError(f"unknown compile mode {mode!r}; choose from {MODES}")
+    global _forced
+    previous = _forced
+    _forced = mode
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+class CompiledModule:
+    """An inference-only compiled artifact standing in for a Module.
+
+    Parameters
+    ----------
+    module:       the :class:`repro.nn.Module` to capture.
+    precision:    ``"float64"`` (default) or ``"int8"`` (true int8 GEMMs).
+    fuse:         absorb elementwise chains into producing stages.
+    arena:        execute against a pre-planned buffer arena (zero
+                  steady-state allocations); ``False`` allocates fresh
+                  buffers per stage (the benchmark's ablation arm).
+    copy_output:  return a private copy instead of an arena view.  Keep
+                  ``True`` (default) whenever outputs outlive the next
+                  call; the benchmark's steady-state arm turns it off.
+    """
+
+    def __init__(self, module: Module, precision: str = "float64",
+                 fuse: bool = True, arena: bool = True,
+                 copy_output: bool = True):
+        if precision not in PRECISIONS:
+            raise CompileError(
+                f"unknown precision {precision!r}; choose from {PRECISIONS}")
+        t0 = time.perf_counter()
+        graph = trace(module)  # may raise TraceError — callers decide policy
+        program = build_program(graph, fuse=fuse, precision=precision)
+        self.__dict__["_wrapped"] = module
+        self.__dict__["graph"] = graph
+        self.__dict__["program"] = program
+        self.__dict__["precision"] = precision
+        self.__dict__["fuse"] = fuse
+        self.__dict__["arena"] = BufferArena() if arena else FreshAllocator()
+        self.__dict__["copy_output"] = copy_output
+        _STATS.captures += 1
+        _STATS.fused_elementwise += program.fused_elementwise
+        get_registry().histogram("compile.capture_s").observe(
+            time.perf_counter() - t0)
+
+    # -- execution ----------------------------------------------------
+    def _run(self, x: np.ndarray) -> np.ndarray:
+        y = self.program.run(x, self.arena)
+        _STATS.runs += 1
+        _STATS.int8_gemms += self.program.int8_stage_count()
+        return np.copy(y) if self.copy_output else y
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        return self._run(np.asarray(x))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 1:  # per-sample call sites (Koopman encode) lift/squeeze
+            return self._run(x[None, :])[0]
+        return self._run(x)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(self, grad: np.ndarray):
+        raise CompileError(
+            "compiled artifacts are inference-only: backward would train "
+            "against buffers the arena has already recycled. Keep the "
+            "original module for training and exact likelihood-regret "
+            "scoring, or recompile() after updating weights.")
+
+    def recompile(self) -> "CompiledModule":
+        """Re-trace and re-plan after the wrapped module's weights or
+        structure changed in place (int8 packs are dropped and rebuilt)."""
+        graph = trace(self._wrapped)
+        self.__dict__["graph"] = graph
+        self.__dict__["program"] = build_program(
+            graph, fuse=self.fuse, precision=self.precision)
+        self.arena.reset()
+        _STATS.recompiles += 1
+        return self
+
+    # -- Module-facing surface ---------------------------------------
+    def parameters(self):
+        return self._wrapped.parameters()
+
+    def modules(self):
+        return self._wrapped.modules()
+
+    def eval(self) -> "CompiledModule":
+        self._wrapped.eval()
+        return self
+
+    def train(self):
+        raise CompileError(
+            "compiled artifacts cannot enter training mode; call train() "
+            "on the original module and run it eagerly.")
+
+    def __getattr__(self, name: str):
+        wrapped = self.__dict__.get("_wrapped")
+        if wrapped is None:
+            raise AttributeError(name)
+        return getattr(wrapped, name)
+
+    def __repr__(self) -> str:
+        return (f"CompiledModule({type(self._wrapped).__name__}, "
+                f"precision={self.precision!r}, stages={len(self.program.stages)}, "
+                f"fused={self.program.fused_elementwise})")
+
+
+def compile_module(module: Module, precision: str = "float64",
+                   fuse: bool = True, arena: bool = True,
+                   copy_output: bool = True, fallback: str = "error"):
+    """Compile ``module``; policy for untraceable constructs is explicit.
+
+    ``fallback="error"`` (default) re-raises the :class:`TraceError`.
+    ``fallback="eager"`` warns loudly (:class:`CompileFallbackWarning`),
+    bumps the fallback counter, and returns the *original module*
+    unchanged — callers keep a working model either way.
+    """
+    if fallback not in ("error", "eager"):
+        raise CompileError(f"unknown fallback policy {fallback!r}")
+    try:
+        return CompiledModule(module, precision=precision, fuse=fuse,
+                              arena=arena, copy_output=copy_output)
+    except TraceError as exc:
+        if fallback == "error":
+            raise
+        _STATS.fallbacks += 1
+        warnings.warn(
+            f"repro.compile: falling back to eager execution for "
+            f"{type(module).__name__}: {exc}",
+            CompileFallbackWarning, stacklevel=2)
+        return module
+
+
+# ---------------------------------------------------------------- routing
+# Sequential.forward/forward_batch consult active_mode() and, under
+# "compiled", land here.  One artifact per live Sequential; fallbacks
+# are remembered so the warning fires once per module, not per call.
+_ARTIFACTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_FALLBACK = object()  # sentinel: this Sequential is untraceable
+
+
+def _artifact_for(seq) -> Optional[CompiledModule]:
+    entry = _ARTIFACTS.get(seq)
+    if entry is None:
+        try:
+            entry = CompiledModule(seq)
+        except TraceError as exc:
+            _STATS.fallbacks += 1
+            warnings.warn(
+                f"repro.compile: falling back to eager execution for "
+                f"{type(seq).__name__}: {exc}",
+                CompileFallbackWarning, stacklevel=4)
+            entry = _FALLBACK
+        _ARTIFACTS[seq] = entry
+    return None if entry is _FALLBACK else entry
+
+
+def routed_forward(seq, x: np.ndarray) -> np.ndarray:
+    artifact = _artifact_for(seq)
+    if artifact is None:
+        return seq._eager_forward(x)
+    if artifact.graph.forward_unsafe():
+        # Training-mode BatchNorm/Dropout: the stateful per-sample
+        # forward is a different function — run it eagerly.
+        _STATS.eager_bypasses += 1
+        return seq._eager_forward(x)
+    seq.__dict__["_ran_compiled"] = True
+    return artifact.forward(x)
+
+
+def routed_forward_batch(seq, x: np.ndarray) -> np.ndarray:
+    artifact = _artifact_for(seq)
+    if artifact is None:
+        return seq._eager_forward_batch(x)
+    return artifact.forward_batch(x)

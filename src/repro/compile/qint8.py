@@ -1,0 +1,145 @@
+"""True int8 GEMM execution with scale/zero-point propagation.
+
+This replaces the fake-quantized float path (quantize weights, keep
+computing in float64) with genuine integer arithmetic for HaLo-selected
+int8 precision:
+
+* **Weights** are quantized once at pack time — per-output-channel
+  symmetric int8 (``w_q[:, j] = round(w[:, j] / s_w[j])``,
+  ``s_w[j] = max|w[:, j]| / 127``) — and stored as ``int8``.  All-zero
+  channels get scale 1.0 (every entry quantizes to 0 exactly).
+* **Activations** are quantized dynamically per call — per-tensor
+  asymmetric uint8 over ``[min(x), max(x)]`` widened to include zero,
+  with scale/zero-point from :func:`repro.nn.quantize.affine_qparams`
+  (the PR's int8-boundary bugfix; the compile layer and the HaLo-FL
+  simulation now share one grid definition).
+* **Accumulation** is exact int32: with zero-point ``z``,
+  ``y = (q_x - z) @ w_q * (s_x * s_w) = (q_x @ w_q - z * colsum(w_q)) * (s_x * s_w)``
+  so the zero-point folds into a precomputed per-column weight sum and
+  the inner GEMM is a single integer ``matmul``.
+
+NumPy has no mixed s8/u8 -> s32 GEMM kernel, so the int8 tensors are
+*stored* at 1 byte per weight (the memory/bandwidth win HaLo prices)
+while the GEMM *operand* is a cached int32 copy of the same integers —
+the arithmetic is bona-fide integer arithmetic with exact int32
+accumulation, not fake-quantized float.  Overflow is impossible for any
+practical width: ``|acc| <= 255 * 127 * in_features`` stays below
+``2**31`` for ``in_features`` up to ~66k, checked at pack time.
+
+Every packed layer also exposes :meth:`Int8Dense.drift_bound`, the
+per-layer worst-case deviation from the float GEMM:
+
+``|dy_j| <= s_x/2 * ||w_:j||_1  +  s_w[j]/2 * ||x||_1  +  n * s_x * s_w[j] / 4``
+
+(activation rounding error through the true weights, weight rounding
+error through the true activations, and the cross term) — the compile
+benchmark and verify's ``compiled`` check assert observed drift stays
+inside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.quantize import affine_qparams
+
+__all__ = ["Int8Dense"]
+
+_INT32_SAFE_IN_FEATURES = (2 ** 31 - 1) // (255 * 127)
+
+
+class Int8Dense:
+    """A :class:`repro.nn.Dense` packed for true int8 inference."""
+
+    def __init__(self, dense):
+        w = np.asarray(dense.weight.data, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"Int8Dense expects a 2-D weight, got {w.shape}")
+        in_features, out_features = w.shape
+        if in_features > _INT32_SAFE_IN_FEATURES:
+            raise ValueError(
+                f"in_features={in_features} would overflow exact int32 "
+                f"accumulation (limit {_INT32_SAFE_IN_FEATURES})")
+        abs_max = np.abs(w).max(axis=0) if in_features else np.zeros(out_features)
+        scale = abs_max / 127.0
+        # All-zero (or subnormal-scale) channels: scale 1.0 maps every
+        # entry to exactly 0 — the edge case the quantize() fix covers.
+        degenerate = scale == 0.0
+        scale = np.where(degenerate, 1.0, scale)
+        q = np.round(w / scale)
+        np.clip(q, -127, 127, out=q)
+        self.dense = dense
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_q = q.astype(np.int8)       # canonical 1-byte storage
+        self.weight_scale = scale               # per-output-channel s_w
+        self._w_i32 = self.weight_q.astype(np.int32)  # GEMM operand cache
+        self._col_sum = self._w_i32.sum(axis=0, dtype=np.int64)
+        self._col_l1 = np.abs(w).sum(axis=0)    # for the drift bound
+        self._weight_ref = dense.weight.data    # staleness witness
+
+    def stale(self) -> bool:
+        """True if the Dense weight array was rebound since packing.
+
+        In-place writes (``p.data[...] = w``) are invisible here by
+        design — repacking on every call would defeat the point of
+        storing weights once.  Callers that mutate weights in place must
+        :meth:`repro.compile.CompiledModule.recompile`.
+        """
+        return self.dense.weight.data is not self._weight_ref
+
+    def run(self, x: np.ndarray, alloc, key: str) -> np.ndarray:
+        """``x @ W`` through the int8 grid, float64 out, zero fresh allocs."""
+        lo = float(x.min()) if x.size else 0.0
+        hi = float(x.max()) if x.size else 0.0
+        act_scale, zero_point = affine_qparams(lo, hi, 8)
+
+        # Quantize activations: stage in float (in-place chain), then a
+        # single unsafe cast into the int32 GEMM operand buffer.
+        staging = alloc.scratch(key + ".qstage", x.shape, np.float64)
+        np.divide(x, act_scale, out=staging)
+        np.rint(staging, out=staging)
+        staging += zero_point
+        np.clip(staging, 0, 255, out=staging)
+        q_x = alloc.scratch(key + ".qx", x.shape, np.int32)
+        np.copyto(q_x, staging, casting="unsafe")
+
+        out_shape = x.shape[:-1] + (self.out_features,)
+        acc = alloc.scratch(key + ".acc", out_shape, np.int32)
+        np.matmul(q_x, self._w_i32, out=acc)
+
+        # y = (acc - z * colsum) * (s_x * s_w)
+        y = alloc.out(key, out_shape, np.float64)
+        if zero_point:
+            corr = alloc.scratch(key + ".corr", (self.out_features,), np.int64)
+            np.multiply(self._col_sum, zero_point, out=corr)
+            np.subtract(acc, corr, out=y)
+        else:
+            np.copyto(y, acc, casting="same_kind")
+        combined = alloc.scratch(key + ".scale", (self.out_features,), np.float64)
+        np.multiply(self.weight_scale, act_scale, out=combined)
+        np.multiply(y, combined, out=y)
+        return y
+
+    def drift_bound(self, x: np.ndarray) -> float:
+        """Worst-case ``max |y_int8 - y_float|`` for this input batch."""
+        x = np.asarray(x, dtype=np.float64)
+        lo = float(x.min()) if x.size else 0.0
+        hi = float(x.max()) if x.size else 0.0
+        act_scale, _ = affine_qparams(lo, hi, 8)
+        row_l1 = float(np.abs(x).sum(axis=-1).max()) if x.size else 0.0
+        per_channel = (act_scale / 2.0 * self._col_l1
+                       + self.weight_scale / 2.0 * row_l1
+                       + self.in_features * act_scale * self.weight_scale / 4.0)
+        return float(per_channel.max()) if per_channel.size else 0.0
+
+    def report(self) -> dict:
+        return {
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "weight_dtype": str(self.weight_q.dtype),
+            "weight_bytes": int(self.weight_q.nbytes),
+            "float_bytes": int(self.in_features * self.out_features * 8),
+            "scale_min": float(self.weight_scale.min()) if self.out_features else 1.0,
+            "scale_max": float(self.weight_scale.max()) if self.out_features else 1.0,
+        }

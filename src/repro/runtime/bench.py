@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from .pool import WorkerPool
 
 __all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
-           "FLEET_BENCHES", "run_bench", "run_suite"]
+           "FLEET_BENCHES", "COMPILE_BENCHES", "run_bench", "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -60,6 +60,7 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "serving_throughput": ("bench_serving_throughput",
                            "run_serving_throughput"),
     "fleet_scaling": ("bench_fleet_scaling", "run_fleet_scaling"),
+    "compile_stages": ("bench_compile", "run_compile_stages"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -83,6 +84,11 @@ SERVING_BENCHES: Tuple[str, ...] = ("serving_throughput",)
 # process-spawning (replica fleets of their own), so they must never
 # run nested inside a pool worker by default.
 FLEET_BENCHES: Tuple[str, ...] = ("fleet_scaling",)
+
+# Compile benchmarks (``repro bench --compile`` / ``repro
+# compile-bench``).  Timing-valued like MICRO_BENCHES, so they stay out
+# of the deterministic default set.
+COMPILE_BENCHES: Tuple[str, ...] = ("compile_stages",)
 
 
 def benchmarks_dir() -> str:

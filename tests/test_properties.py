@@ -12,6 +12,7 @@ from repro.hardware import EnergyLedger, LidarPowerModel
 from repro.metrics import roc_auc
 from repro.multiagent import minimal_radius, rectangular_partition
 from repro.nn import bce_with_logits, gaussian_kl, quantization_noise_power, quantize, softmax
+from repro.nn.quantize import affine_qparams
 from repro.nn.losses import info_nce
 from repro.voxel import RadialMaskConfig, VoxelGridConfig
 
@@ -51,6 +52,48 @@ def test_quantization_noise_within_shrinking_bound(x):
         levels = 2 ** (bits - 1) - 1
         bound = (max_abs / levels / 2.0) ** 2
         assert quantization_noise_power(x, bits) <= bound + 1e-18
+
+
+@given(arrays(np.float64, st.integers(1, 40), elements=small_floats),
+       st.sampled_from([2, 4, 8]))
+@settings(max_examples=80, deadline=None)
+def test_asymmetric_quantize_roundtrip_within_half_step(x, bits):
+    # The affine grid covers [min(x),0]..[0,max(x)], so every value —
+    # including the exact range boundaries, the int8 edge case the
+    # compile layer depends on — round-trips within half a step.  No
+    # idempotence is claimed: re-quantizing derives a *new* grid from
+    # the quantized range, which may differ.
+    q = quantize(x, bits, symmetric=False)
+    scale, zp = affine_qparams(float(np.min(x)), float(np.max(x)), bits)
+    assert 0 <= zp <= 2 ** bits - 1
+    np.testing.assert_array_less(np.abs(q - x), scale / 2.0 + 1e-12)
+
+
+@given(arrays(np.float64, st.integers(1, 30),
+              elements=st.floats(min_value=-10.0, max_value=-0.25)))
+@settings(max_examples=60, deadline=None)
+def test_asymmetric_quantize_preserves_negatives(x):
+    # Regression guard for the pre-fix behavior that clipped the whole
+    # negative half-range to the zero-point.
+    q = quantize(x, 8, symmetric=False)
+    assert np.all(q < 0.0)
+
+
+@given(st.integers(1, 20), st.sampled_from([2, 4, 8]))
+@settings(max_examples=30, deadline=None)
+def test_asymmetric_quantize_all_zero_exact(n, bits):
+    x = np.zeros(n)
+    np.testing.assert_array_equal(quantize(x, bits, symmetric=False), x)
+    assert affine_qparams(0.0, 0.0, bits) == (1.0, 0)
+
+
+@given(arrays(np.float64, st.integers(2, 40), elements=small_floats),
+       st.sampled_from([4, 8]))
+@settings(max_examples=60, deadline=None)
+def test_asymmetric_quantize_zero_exactly_representable(x, bits):
+    x = np.append(x, 0.0)  # ensure zero sits in the tensor
+    q = quantize(x, bits, symmetric=False)
+    assert q[-1] == 0.0
 
 
 # ---------------------------------------------------------------- softmax
