@@ -20,11 +20,12 @@ writing any code:
   the default set: ``--micro`` appends the kernel micro-benchmarks
   (``MICRO_BENCHES``), ``--serving`` appends the serving-throughput
   benches (``SERVING_BENCHES``), and ``--fleet`` appends the
-  fleet-scaling benches (``FLEET_BENCHES``), and ``--compile`` appends
-  the compile-stage benches (``COMPILE_BENCHES``); ``--help-names``
-  lists every registered name with its
-  ``[default]``/``[micro]``/``[serving]``/``[fleet]``/``[compile]``
-  tag;
+  fleet-scaling benches (``FLEET_BENCHES``), ``--compile`` appends
+  the compile-stage benches (``COMPILE_BENCHES``), and ``--control``
+  appends the control-adaptation benches (``CONTROL_BENCHES``);
+  ``--help-names`` lists every registered name with its
+  ``[default]``/``[micro]``/``[serving]``/``[fleet]``/``[compile]``/
+  ``[control]`` tag;
 * ``serve-bench``       — run the micro-batched serving benchmark (N
   concurrent loops sharing one :class:`repro.serve.BatchedService`)
   and print the serial-vs-batched comparison; ``--smoke`` runs the
@@ -46,12 +47,20 @@ writing any code:
   steady state, int8 drift stays inside every layer's analytic bound,
   and fused+arena clears its speedup floor somewhere; 1 = a
   correctness/bound/speedup check failed;
+* ``control-bench``     — run the control-adaptation sweep (the
+  declarative :class:`repro.control.Controller` vs four static
+  operating points over a corruption x load grid); fully analytic, so
+  the payload is bit-reproducible.  Exit codes: 0 = the adaptive
+  policy matches the best static config's accuracy at no more than
+  its energy and actually reconfigured; 1 = a frontier check failed;
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
 * ``verify``            — golden-trace differential verification: replay
-  the five pillar scenarios serially, pooled, cached, quantized, under
-  both kernel backends, and compiled (``repro.compile`` artifacts vs
+  the six golden scenarios (five paper pillars plus the
+  ``control_adaptation`` decision-trace episode) serially, pooled,
+  cached, quantized, under both kernel backends, and compiled
+  (``repro.compile`` artifacts vs
   the eager float runs), diffing each against the committed goldens
   under ``tests/goldens/``
   (``--update-goldens`` re-records them).  Exit codes: 0 = all checks
@@ -510,6 +519,53 @@ def _run_compile_bench(smoke: bool, out: str, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _run_control_bench(smoke: bool, out: str, as_json: bool) -> int:
+    from repro.control.driver import run_control_adaptation
+
+    result = run_control_adaptation(smoke=smoke)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write control artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote control results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        cfg = result["config"]
+        print(f"control adaptation ({'smoke' if smoke else 'full'}): "
+              f"{len(cfg['severities'])}x{len(cfg['loads_rps'])} sweep, "
+              f"{cfg['cycles']} cycles/episode "
+              f"({cfg['warmup_cycles']} warmup excluded)")
+        for name, agg in result["aggregate"].items():
+            mark = ""
+            if name in result["statics_dominated"]:
+                mark = "  (dominated by adaptive)"
+            elif name == result["best_static"]:
+                mark = "  (best static)"
+            print(f"  {name:16s} accuracy {agg['accuracy']:.4f}  "
+                  f"energy {agg['energy_mj']:8.1f} mJ{mark}")
+        print(f"  adaptive decisions: {result['adaptive_decisions']} over "
+              f"{result['adaptive_steps']} controller steps")
+    # The frontier claims gate; the dominated count is informational
+    # (check_regressions.py reports it as a warning-level check).
+    ok = (result["adaptive_matches_best_accuracy"]
+          and result["adaptive_energy_leq_best_static"]
+          and result["adaptive_decisions"] > 0)
+    if not ok:
+        print("control-bench FAILED: "
+              f"matches_best_accuracy="
+              f"{result['adaptive_matches_best_accuracy']} "
+              f"energy_leq_best_static="
+              f"{result['adaptive_energy_leq_best_static']} "
+              f"decisions={result['adaptive_decisions']}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -588,10 +644,15 @@ def main(argv=None) -> int:
                        help="include the compile-stage suite "
                             "(COMPILE_BENCHES: alone when no names are "
                             "given, appended otherwise)")
+    bench.add_argument("--control", action="store_true",
+                       dest="control_suite",
+                       help="include the control-adaptation suite "
+                            "(CONTROL_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names with their "
                             "[default]/[micro]/[serving]/[fleet]/"
-                            "[compile] tags and exit")
+                            "[compile]/[control] tags and exit")
     serve = sub.add_parser(
         "serve-bench",
         help="run the micro-batched serving benchmark (serial vs "
@@ -632,6 +693,19 @@ def main(argv=None) -> int:
                            help="write the full results JSON here")
     compile_p.add_argument("--json", action="store_true",
                            help="emit the full results JSON on stdout")
+    control_p = sub.add_parser(
+        "control-bench",
+        help="run the control-adaptation sweep (adaptive Controller vs "
+             "static configs on the energy/accuracy frontier); exits 1 "
+             "if the adaptive policy fails to match the best static "
+             "accuracy at no more than its energy")
+    control_p.add_argument("--smoke", action="store_true",
+                           help="CI variant (sweep corners only, "
+                                "shorter episodes)")
+    control_p.add_argument("--out", default="",
+                           help="write the full results JSON here")
+    control_p.add_argument("--json", action="store_true",
+                           help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk artifact cache "
@@ -644,7 +718,7 @@ def main(argv=None) -> int:
         help="golden-trace differential verification (serial / pooled / "
              "cached / quantized / kernels) against tests/goldens/")
     verify.add_argument("scenarios", nargs="*",
-                        help="scenario names (default: all five pillars)")
+                        help="scenario names (default: all six scenarios)")
     verify.add_argument("--update-goldens", action="store_true",
                         help="re-record goldens from fresh serial runs "
                              "before verifying")
@@ -692,8 +766,9 @@ def main(argv=None) -> int:
     if args.command == "bench":
         if args.help_names:
             from repro.runtime import (BENCHES, COMPILE_BENCHES,
-                                       DEFAULT_BENCHES, FLEET_BENCHES,
-                                       MICRO_BENCHES, SERVING_BENCHES)
+                                       CONTROL_BENCHES, DEFAULT_BENCHES,
+                                       FLEET_BENCHES, MICRO_BENCHES,
+                                       SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
@@ -704,6 +779,8 @@ def main(argv=None) -> int:
                     tag = "  [fleet]"
                 if name in COMPILE_BENCHES:
                     tag = "  [compile]"
+                if name in CONTROL_BENCHES:
+                    tag = "  [control]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
@@ -719,6 +796,9 @@ def main(argv=None) -> int:
         if args.compile_suite:
             from repro.runtime import COMPILE_BENCHES
             names.extend(n for n in COMPILE_BENCHES if n not in names)
+        if args.control_suite:
+            from repro.runtime import CONTROL_BENCHES
+            names.extend(n for n in CONTROL_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
     if args.command == "serve-bench":
         return _run_serve_bench(args.smoke, args.out, args.json)
@@ -727,6 +807,8 @@ def main(argv=None) -> int:
                                 args.json)
     if args.command == "compile-bench":
         return _run_compile_bench(args.smoke, args.out, args.json)
+    if args.command == "control-bench":
+        return _run_control_bench(args.smoke, args.out, args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

@@ -41,6 +41,7 @@ from .executor import (
     compile_mode,
     compile_module,
     compile_stats,
+    force_mode,
     reset_compile_stats,
 )
 from .fusion import PRECISIONS, Program, build_program
@@ -63,6 +64,6 @@ __all__ = [
     "BufferArena", "FreshAllocator", "Int8Dense",
     "CompiledModule", "compile_module", "CompileError",
     "CompileFallbackWarning",
-    "compile_mode", "active_mode", "MODES", "COMPILE_ENV",
+    "compile_mode", "force_mode", "active_mode", "MODES", "COMPILE_ENV",
     "CompileStats", "compile_stats", "reset_compile_stats",
 ]

@@ -48,8 +48,9 @@ from .tracer import TraceError, trace
 
 __all__ = [
     "MODES", "COMPILE_ENV", "CompileError", "CompileFallbackWarning",
-    "active_mode", "compile_mode", "CompiledModule", "compile_module",
-    "CompileStats", "compile_stats", "reset_compile_stats",
+    "active_mode", "compile_mode", "force_mode", "CompiledModule",
+    "compile_module", "CompileStats", "compile_stats",
+    "reset_compile_stats",
 ]
 
 MODES = ("eager", "compiled")
@@ -109,6 +110,22 @@ def active_mode() -> str:
         raise CompileError(
             f"invalid {COMPILE_ENV}={raw!r}; choose from {MODES}")
     return raw
+
+
+def force_mode(mode: Optional[str]) -> Optional[str]:
+    """Imperatively install (or with ``None`` clear) the scoped mode
+    override; returns the previous override.
+
+    The actuator-style twin of :func:`compile_mode` (mirroring
+    ``repro.kernels.force_backend``): runtime reconfiguration flips the
+    mode mid-run and restores the returned previous value itself.
+    """
+    global _forced
+    if mode is not None and mode not in MODES:
+        raise CompileError(f"unknown compile mode {mode!r}; choose from {MODES}")
+    previous = _forced
+    _forced = mode
+    return previous
 
 
 @contextmanager

@@ -127,6 +127,13 @@ class SensingToActionLoop:
         Wall-clock source for the ``loop.cycle_wall_s`` timing; defaults
         to :class:`SystemClock`.  Inject a :class:`VirtualClock` for
         deterministic timing in tests and virtual-time serving runs.
+    controller:
+        Optional runtime-reconfiguration hook (duck-typed: anything
+        with ``on_cycle(loop)``, normally a
+        :class:`repro.control.LoopControlBinding`).  Called after every
+        completed cycle so declarative policies can retune the loop's
+        actuators — sensing fraction, monitor method, precision — from
+        observed context (trust, windowed energy, staleness).
     """
 
     def __init__(self, sensor: Sensor, perception: Perception, policy: Policy,
@@ -134,7 +141,8 @@ class SensingToActionLoop:
                  trust_threshold: float = 0.5,
                  compute_latency_s: float = 0.0,
                  period_s: float = 0.05,
-                 obs=None, clock: Optional[Clock] = None):
+                 obs=None, clock: Optional[Clock] = None,
+                 controller=None):
         if period_s <= 0:
             raise ValueError("loop period must be positive")
         if compute_latency_s < 0 or compute_latency_s > period_s:
@@ -149,6 +157,7 @@ class SensingToActionLoop:
         self.period_s = period_s
         self.obs = obs if obs is not None else get_registry()
         self.clock = clock if clock is not None else SystemClock()
+        self.controller = controller
         self._next_directive: Dict[str, Any] = {}
         self.metrics = LoopMetrics()
         self.history: List[CycleRecord] = []
@@ -219,6 +228,12 @@ class SensingToActionLoop:
         obs.histogram("loop.cycle_latency_s").observe(self.compute_latency_s)
         obs.histogram("loop.cycle_wall_s").observe(
             self.clock.now() - wall0)
+        if self.controller is not None:
+            # Context-aware reconfiguration: the binding samples this
+            # cycle's trust/energy/staleness and may retune actuators
+            # for the *next* cycle.  It sees the loop's own clock, so
+            # virtual-time runs stay fully deterministic.
+            self.controller.on_cycle(self)
         return record
 
     def run(self, env: Environment, n_cycles: int) -> LoopMetrics:

@@ -116,6 +116,10 @@ class ServingFleet:
     transport:
         ``"auto"`` (shared memory when available), ``"shm"`` (require
         it), or ``"inline"`` (descriptor-only control messages).
+    controller:
+        Optional runtime-reconfiguration hook passed through to the
+        :class:`FleetScheduler` (normally a
+        :class:`repro.control.FleetControlBinding`).
     """
 
     def __init__(self, spec: ReplicaSpec,
@@ -123,7 +127,8 @@ class ServingFleet:
                  lanes: Optional[Sequence[SLOLane]] = None,
                  fallback: Optional[Callable[[Any], Any]] = None,
                  inprocess: bool = False, transport: str = "auto",
-                 name: str = "fleet", ready_timeout_s: float = 120.0):
+                 name: str = "fleet", ready_timeout_s: float = 120.0,
+                 controller=None):
         if transport not in ("auto", "shm", "inline"):
             raise ValueError(f"unknown transport {transport!r}")
         self.spec = spec
@@ -137,7 +142,8 @@ class ServingFleet:
             raise RuntimeError("transport='shm' requested but "
                                "multiprocessing.shared_memory is missing")
         self.transport = "shm" if use_shm else "inline"
-        self.scheduler = FleetScheduler(self.config, lanes, name=name)
+        self.scheduler = FleetScheduler(self.config, lanes, name=name,
+                                        controller=controller)
         self._lock = threading.Lock()
         self._closed = False
         self._seq = 0

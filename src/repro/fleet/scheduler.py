@@ -197,10 +197,17 @@ class FleetScheduler:
 
     def __init__(self, config: Optional[FleetConfig] = None,
                  lanes: Optional[Sequence[SLOLane]] = None,
-                 clock: Optional[Clock] = None, name: str = "fleet"):
+                 clock: Optional[Clock] = None, name: str = "fleet",
+                 controller=None):
         self.config = config or FleetConfig()
         self.clock = clock if clock is not None else SystemClock()
         self.name = name
+        # Optional runtime-reconfiguration hook (duck-typed: anything
+        # with ``on_completion(scheduler)``, normally a
+        # repro.control.FleetControlBinding).  Invoked after each
+        # completion — where depths and the service EMA just changed —
+        # so spill/shed knobs can be retuned from observed load.
+        self.controller = controller
         self.lanes: Dict[str, SLOLane] = {
             lane.name: lane for lane in (lanes or DEFAULT_LANES)}
         self.ring = ConsistentHashRing(self.config.replicas,
@@ -346,6 +353,8 @@ class FleetScheduler:
         obs.gauge(f"{self.name}.r{replica}.queue_depth").set(
             self._depth[replica])
         obs.histogram(f"{self.name}.replica_service_s").observe(service_s)
+        if self.controller is not None:
+            self.controller.on_completion(self)
 
     def record_latency(self, seconds: float, downgraded: bool = False
                        ) -> None:

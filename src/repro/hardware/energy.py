@@ -124,3 +124,23 @@ class EnergyLedger:
             "actuation_mj": self.actuation_mj,
             "total_mj": self.total_mj,
         }
+
+    # -------------------------------------------------- windowed readings
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time copy of every meter (including the total).
+
+        Pair with :meth:`delta` for windowed readings: take a snapshot
+        at the window start and ask the ledger for the delta later.
+        """
+        return self.as_dict()
+
+    def delta(self, since: Dict[str, float]) -> Dict[str, float]:
+        """Per-meter consumption since a :meth:`snapshot`.
+
+        Meters absent from ``since`` are treated as starting at zero, so
+        a snapshot taken from an older/foreign ledger still yields a
+        well-formed delta over this ledger's meters.
+        """
+        now = self.as_dict()
+        return {key: value - float(since.get(key, 0.0))
+                for key, value in now.items()}

@@ -48,8 +48,9 @@ from typing import Any, Dict, List, Optional
 from ..obs.registry import get_registry
 
 __all__ = ["BACKENDS", "DEFAULT_BACKEND", "KERNELS_ENV", "KernelError",
-           "active_backend", "kernel_backend", "register_kernel",
-           "get_kernel", "available_kernels", "kernel_timer"]
+           "active_backend", "kernel_backend", "force_backend",
+           "register_kernel", "get_kernel", "available_kernels",
+           "kernel_timer"]
 
 BACKENDS = ("vectorized", "reference")
 DEFAULT_BACKEND = "vectorized"
@@ -78,6 +79,24 @@ def active_backend() -> str:
             f"invalid {KERNELS_ENV}={raw!r}; choose from "
             f"{', '.join(BACKENDS)}")
     return raw
+
+
+def force_backend(name: Optional[str]) -> Optional[str]:
+    """Imperatively install (or with ``None`` clear) the scoped backend
+    override; returns the previous override.
+
+    This is the actuator-style twin of :func:`kernel_backend`: runtime
+    reconfiguration (``repro.control``) flips the backend mid-run and
+    restores the returned previous value itself instead of holding a
+    ``with`` block open across cycles.
+    """
+    global _forced
+    if name is not None and name not in BACKENDS:
+        raise KernelError(f"unknown kernel backend {name!r}; choose from "
+                          f"{', '.join(BACKENDS)}")
+    previous = _forced
+    _forced = name
+    return previous
 
 
 @contextmanager

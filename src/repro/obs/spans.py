@@ -39,17 +39,26 @@ class Span:
     def __enter__(self) -> "Span":
         self._tracer._push(self)
         if self._ledger is not None:
-            self._energy_before = dict(self._ledger.as_dict())
+            snapshot = getattr(self._ledger, "snapshot", None)
+            self._energy_before = (dict(snapshot()) if snapshot is not None
+                                   else dict(self._ledger.as_dict()))
         self.start_s = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.end_s = time.perf_counter()
         if self._ledger is not None:
-            after = self._ledger.as_dict()
+            # EnergyLedger-style objects provide windowed readings via
+            # snapshot()/delta(); anything else with as_dict() gets the
+            # same subtraction done here.
             before = self._energy_before
-            self.energy_mj = {k: after[k] - before.get(k, 0.0)
-                              for k in after}
+            delta = getattr(self._ledger, "delta", None)
+            if delta is not None:
+                self.energy_mj = dict(delta(before))
+            else:
+                after = self._ledger.as_dict()
+                self.energy_mj = {k: after[k] - before.get(k, 0.0)
+                                  for k in after}
         self._tracer._pop(self)
         return False
 

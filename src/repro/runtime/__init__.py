@@ -11,8 +11,9 @@ tasks, per-worker wall time, and cache hits/misses so ``repro profile``
 sees the speedup.
 """
 
-from .bench import (BENCHES, COMPILE_BENCHES, DEFAULT_BENCHES,
-                    FLEET_BENCHES, MICRO_BENCHES, SERVING_BENCHES,
+from .bench import (BENCHES, COMPILE_BENCHES, CONTROL_BENCHES,
+                    DEFAULT_BENCHES, FLEET_BENCHES, MICRO_BENCHES,
+                    SERVING_BENCHES,
                     run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
@@ -35,5 +36,6 @@ __all__ = [
     "CACHE_DIR_ENV", "CACHE_ENV",
     "spawn_seeds", "spawn_rngs", "assert_private_rngs",
     "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
-    "FLEET_BENCHES", "COMPILE_BENCHES", "run_bench", "run_suite",
+    "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
+    "run_bench", "run_suite",
 ]

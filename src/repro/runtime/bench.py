@@ -26,7 +26,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from .pool import WorkerPool
 
 __all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
-           "FLEET_BENCHES", "COMPILE_BENCHES", "run_bench", "run_suite"]
+           "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
+           "run_bench", "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -61,6 +62,8 @@ BENCHES: Dict[str, Tuple[str, str]] = {
                            "run_serving_throughput"),
     "fleet_scaling": ("bench_fleet_scaling", "run_fleet_scaling"),
     "compile_stages": ("bench_compile", "run_compile_stages"),
+    "control_adaptation": ("bench_control_adaptation",
+                           "run_control_adaptation"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -89,6 +92,12 @@ FLEET_BENCHES: Tuple[str, ...] = ("fleet_scaling",)
 # compile-bench``).  Timing-valued like MICRO_BENCHES, so they stay out
 # of the deterministic default set.
 COMPILE_BENCHES: Tuple[str, ...] = ("compile_stages",)
+
+# Control-plane benchmarks (``repro bench --control`` / ``repro
+# control-bench``).  Fully analytic — no RNG, no clock reads — so the
+# payload (not just the results subtree) is bit-identical across runs
+# and hosts; the regression gate diffs it byte-for-byte.
+CONTROL_BENCHES: Tuple[str, ...] = ("control_adaptation",)
 
 
 def benchmarks_dir() -> str:

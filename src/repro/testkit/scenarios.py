@@ -1,4 +1,4 @@
-"""The five golden-trace scenarios — one end-to-end run per pillar.
+"""The six golden-trace scenarios — one end-to-end run per pillar.
 
 Each scenario is a *fully seeded* miniature of one paper pillar,
 recording its intermediate tensors and metrics into a
@@ -14,7 +14,14 @@ recording its intermediate tensors and metrics into a
   evaluation (Sec. VI);
 * ``federated_round`` — two heterogeneity-aware federated rounds
   (Sec. VII); the only scenario with an *internal* parallel path
-  (``FLServer.run_round(pool=...)``).
+  (``FLServer.run_round(pool=...)``);
+* ``control_adaptation`` — a corruption-ramp episode of a
+  :class:`~repro.core.SensingToActionLoop` reconfigured mid-run by the
+  :mod:`repro.control` plane (Sec. II/VIII); the golden pins the full
+  decision trace (rule, actuator, old -> new, context snapshot).  The
+  episode is purely analytic (no kernel-dispatched numerics) and never
+  touches process-wide overrides, so its trace is bit-identical across
+  kernel backends and all three variants.
 
 Every scenario supports three variants: ``float`` (the golden
 reference), ``quantized`` (identical training, then all learned
@@ -327,6 +334,176 @@ _FEDERATED_TOLERANCES = {
 }
 
 
+def _control_adaptation(rec: TraceRecorder, variant: str, pool=None) -> None:
+    """Corruption-ramp control episode: trust dips, the controller
+    boosts sensing / switches the monitor method / drops precision, and
+    reverts as the corruption clears.  Entirely analytic (plain float
+    math plus one seeded gaussian stream) under a VirtualClock: no
+    kernel dispatch, no process-wide overrides, no wall-clock reads —
+    so the recorded decision trace is bit-identical regardless of
+    backend, pooling, caching, or variant."""
+    from ..control import (
+        ActuatorRegistry,
+        Controller,
+        LoopControlBinding,
+        Rule,
+        attr_actuator,
+        precision_bits_actuator,
+    )
+    from ..core.clock import VirtualClock
+    from ..core.components import (
+        Action,
+        Actuator,
+        Environment,
+        Monitor,
+        Percept,
+        Perception,
+        Policy,
+        Sensor,
+        SensorReading,
+    )
+    from ..core.loop import SensingToActionLoop
+
+    class RampEnvironment(Environment):
+        """Scripted corruption severity: ramp up, plateau, ramp down."""
+
+        def __init__(self):
+            self.t = 0.0
+
+        def observe_state(self) -> float:
+            t = self.t
+            if t < 0.3:
+                return 0.0
+            if t < 1.1:
+                return 0.9 * (t - 0.3) / 0.8
+            if t < 1.4:
+                return 0.9
+            if t < 2.1:
+                return 0.9 * (2.1 - t) / 0.7
+            return 0.0
+
+        def advance(self, dt: float) -> None:
+            self.t += dt
+
+    class FractionSensor(Sensor):
+        """Sensing fraction is the actuated knob; energy ~ fraction^2."""
+
+        def __init__(self):
+            self.fraction = 0.3
+            self.severities: List[float] = []
+
+        def sense(self, env, directive, t) -> SensorReading:
+            severity = float(env.observe_state())
+            self.severities.append(severity)
+            f = self.fraction
+            return SensorReading(
+                data=severity, timestamp=t, coverage=f,
+                energy_mj=0.5 * f * f, modality="synthetic",
+                meta={"severity": severity})
+
+    class PassThrough(Perception):
+        def perceive(self, reading) -> Percept:
+            return Percept(
+                features=np.array([reading.data, reading.coverage]),
+                estimate=reading.data, confidence=1.0,
+                meta={"severity": reading.data,
+                      "coverage": reading.coverage})
+
+    class CorruptionMonitor(Monitor):
+        """Trust falls with severity; dense sensing partially masks it."""
+
+        def __init__(self, rng):
+            self.method = "spsa"
+            self.rng = rng
+
+        def assess(self, percept) -> float:
+            severity = percept.meta["severity"]
+            coverage = percept.meta["coverage"]
+            noise = float(self.rng.normal(0.0, 0.003))
+            return float(min(1.0, max(
+                0.0, 1.0 - severity * (1.05 - coverage) + noise)))
+
+    class PrecisionModel:
+        bits = 32
+
+    class MethodAwarePolicy(Policy):
+        """Compute energy tracks the monitor method and precision bits."""
+
+        COST = {"spsa": 0.02, "exact": 0.06}
+
+        def __init__(self, monitor, model):
+            self.monitor = monitor
+            self.model = model
+
+        def act(self, percept, t) -> Action:
+            energy = self.COST[self.monitor.method] * (self.model.bits / 32.0)
+            return Action(command=float(percept.confidence),
+                          energy_mj=energy)
+
+    class NullActuator(Actuator):
+        def actuate(self, env, action, t) -> float:
+            return 0.0
+
+    sensor = FractionSensor()
+    monitor = CorruptionMonitor(np.random.default_rng(601))
+    model = PrecisionModel()
+    registry = ActuatorRegistry()
+    attr_actuator(registry, "sensor.fraction", sensor, "fraction",
+                  bounds=(0.1, 1.0))
+    attr_actuator(registry, "monitor.method", monitor, "method",
+                  choices=("spsa", "exact"))
+    precision_bits_actuator(registry, model, name="model.bits")
+    controller = Controller([
+        # Corruption drives trust down -> sense densely; clear -> cheap.
+        Rule("sensing_boost", signal="trust", actuator="sensor.fraction",
+             low=0.55, high=0.92, low_value=0.9, high_value=0.3,
+             cooldown_s=0.2),
+        # Dense-sensing regime warrants the exact regret method.
+        Rule("regret_method", signal="coverage", actuator="monitor.method",
+             low=0.4, high=0.6, low_value="spsa", high_value="exact",
+             cooldown_s=0.1),
+        # Energy pressure from dense sensing -> drop precision bits.
+        Rule("precision", signal="energy_window_mj", actuator="model.bits",
+             low=0.1, high=0.3, low_value=32, high_value=8,
+             cooldown_s=0.1),
+    ], registry, enabled=True)
+    binding = LoopControlBinding(controller)
+
+    loop = SensingToActionLoop(
+        sensor, PassThrough(), MethodAwarePolicy(monitor, model),
+        NullActuator(), monitor=monitor, trust_threshold=0.4,
+        compute_latency_s=0.01, period_s=0.05,
+        clock=VirtualClock(), controller=binding)
+    env = RampEnvironment()
+    metrics = loop.run(env, 48)
+
+    rec.add("episode",
+            severity=np.array(sensor.severities),
+            trust=np.array([r.trust for r in loop.history]),
+            coverage=np.array([r.reading.coverage for r in loop.history]),
+            final_fraction=sensor.fraction,
+            final_method=monitor.method,
+            final_bits=model.bits)
+    rec.add("decisions",
+            trace=controller.decision_trace(),
+            n_decisions=len(controller.decisions),
+            steps=controller.steps,
+            suppressed_cooldown=controller.suppressed_cooldown)
+    rec.add("summary",
+            energy=metrics.energy.as_dict(),
+            cycles=metrics.cycles,
+            rejected_cycles=metrics.rejected_cycles,
+            mean_coverage=metrics.mean_coverage)
+
+
+# The control scenario is analytic end to end, so every field —
+# including the discrete decision trace — must reproduce bit-for-bit
+# under every check; only the shared counter slack is declared.
+_CONTROL_TOLERANCES = {
+    "telemetry/counters/*": {"atol": 16, "rtol": 0.05},
+}
+
+
 ScenarioFn = Callable[[TraceRecorder, str, Optional[object]], None]
 
 SCENARIOS: Dict[str, tuple] = {
@@ -335,6 +512,7 @@ SCENARIOS: Dict[str, tuple] = {
     "starnet_monitor": (_starnet_monitor, _STARNET_TOLERANCES),
     "snn_flow": (_snn_flow, _SNN_TOLERANCES),
     "federated_round": (_federated_round, _FEDERATED_TOLERANCES),
+    "control_adaptation": (_control_adaptation, _CONTROL_TOLERANCES),
 }
 
 # Extra per-field tolerances applied ONLY when a vectorized-backend run
@@ -367,6 +545,8 @@ KERNEL_DRIFT_TOLERANCES: Dict[str, Dict[str, Dict[str, float]]] = {
         "train/losses*": {"atol": 1e-6, "rtol": 1e-6},
     },
     "federated_round": {},
+    # Analytic loop, no kernel dispatch: zero drift by construction.
+    "control_adaptation": {},
 }
 
 
@@ -390,6 +570,7 @@ COMPILED_DRIFT_TOLERANCES: Dict[str, Dict[str, Dict[str, float]]] = {
     "starnet_monitor": {},
     "snn_flow": {},
     "federated_round": {},
+    "control_adaptation": {},
 }
 
 

@@ -1,4 +1,4 @@
-"""Differential verification: one scenario, five execution strategies.
+"""Differential verification: one scenario, six execution strategies.
 
 For every golden scenario this driver runs the checks the runtime and
 kernel layers must keep true:

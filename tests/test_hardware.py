@@ -60,6 +60,31 @@ def test_energy_ledger_merge():
     assert a.total_mj == pytest.approx(1.0)
 
 
+def test_energy_ledger_snapshot_delta_window():
+    ledger = EnergyLedger()
+    ledger.charge_sensing(1.0)
+    since = ledger.snapshot()
+    ledger.charge_sensing(0.5)
+    ledger.charge_compute(2.0)
+    delta = ledger.delta(since)
+    assert delta["sensing_mj"] == pytest.approx(0.5)
+    assert delta["compute_mj"] == pytest.approx(2.0)
+    assert delta["communication_mj"] == pytest.approx(0.0)
+    assert delta["total_mj"] == pytest.approx(2.5)
+    # The snapshot is a plain copy: it does not track later charges.
+    assert since["sensing_mj"] == pytest.approx(1.0)
+
+
+def test_energy_ledger_delta_tolerates_foreign_snapshot():
+    ledger = EnergyLedger(compute_mj=3.0)
+    # Missing meters read as zero, so a partial/foreign snapshot still
+    # yields a well-formed delta over this ledger's meters.
+    delta = ledger.delta({"sensing_mj": 1.0})
+    assert delta["compute_mj"] == pytest.approx(3.0)
+    assert delta["sensing_mj"] == pytest.approx(-1.0)
+    assert set(delta) == set(ledger.as_dict())
+
+
 # ---------------------------------------------------------------- latency
 def test_latency_and_area_monotone():
     lats = [mac_latency_ns(b) for b in (2, 4, 8, 16, 32)]

@@ -119,6 +119,28 @@ def test_span_energy_deltas():
     assert inner.energy_mj["sensing_mj"] == pytest.approx(0.0)
 
 
+def test_span_uses_duck_typed_snapshot_delta():
+    """Spans consume any meter object exposing snapshot()/delta() — the
+    same windowed-reading contract EnergyLedger and the control plane's
+    EnergyWindow are built on."""
+
+    class FakeMeters:
+        def __init__(self):
+            self.joules = 0.0
+
+        def snapshot(self):
+            return {"joules": self.joules}
+
+        def delta(self, since):
+            return {"joules": self.joules - since.get("joules", 0.0)}
+
+    reg = MetricsRegistry()
+    meters = FakeMeters()
+    with reg.trace_span("work", ledger=meters):
+        meters.joules += 4.0
+    assert reg.spans[0].energy_mj == {"joules": pytest.approx(4.0)}
+
+
 def test_span_attrs_and_annotate():
     reg = MetricsRegistry()
     with reg.trace_span("s", attrs={"phase": "train"}) as s:

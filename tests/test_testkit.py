@@ -268,7 +268,8 @@ def test_compare_traces_tolerance_uses_golden_spec():
 def test_scenario_registry_shape():
     assert set(scenario_names()) == {"rmae_detect", "koopman_lqr",
                                      "starnet_monitor", "snn_flow",
-                                     "federated_round"}
+                                     "federated_round",
+                                     "control_adaptation"}
     assert CHECKS == ("serial", "pooled", "cache", "quantized", "kernels",
                       "compiled")
 
