@@ -1,0 +1,65 @@
+"""Async federated simulation at fleet scale — 10^3 clients, no barrier.
+
+Runs the :mod:`repro.federated.driver` comparison: sampled synchronous
+FedAvg (lockstep, barriered on each cohort's slowest device) vs
+buffered staleness-weighted asynchronous aggregation with cost-aware
+client sampling, over an identical 1000-client heterogeneous fleet,
+identical IID shards, identical seeds, and an identical client-update
+budget.  Virtual time comes from the event-driven scheduler, so the
+headline speedup is a deterministic quantity, not a wall-clock
+measurement; the async arm is additionally re-run under 1/2/4 pooled
+workers and must produce byte-identical result payloads.
+
+All three headline claims (accuracy parity, >=2x simulated speedup,
+cross-worker identity) are asserted here and re-checked as blocking
+gates by ``check_regressions.py`` against the committed JSON.
+"""
+
+from repro.federated import FederatedBenchConfig, run_federated_async_benchmark
+from repro.federated.driver import SIM_SPEEDUP_TARGET
+
+from bench_utils import print_table, save_result
+
+
+def run_federated_async() -> dict:
+    return run_federated_async_benchmark(FederatedBenchConfig())
+
+
+def test_federated_async(benchmark):
+    result = benchmark.pedantic(run_federated_async, rounds=1, iterations=1)
+    cfg = result["config"]
+    lock, asy = result["lockstep"], result["async"]
+    print_table(
+        f"Async vs lockstep FedAvg — {cfg['n_clients']} clients, "
+        f"cohort {result['cohort']}, budget {result['update_budget']} "
+        "updates",
+        ["Arm", "Updates", "Virtual time", "Accuracy", "Energy",
+         "Staleness"],
+        [["lockstep", lock["updates"], f"{lock['virtual_s']:.1f}s",
+          f"{lock['final_accuracy']:.3f}",
+          f"{lock['total_energy_mj']:.1f}mJ", "0 (barrier)"],
+         ["async", asy["updates"], f"{asy['virtual_s']:.1f}s",
+          f"{asy['final_accuracy']:.3f}",
+          f"{asy['total_energy_mj']:.1f}mJ",
+          f"mean {asy['staleness_mean']:.2f} max "
+          f"{asy['staleness_max']}"]])
+    print_table(
+        "Async determinism + sharding across worker counts",
+        ["Workers", "Weights sha", "Wall", "Emulated wall"],
+        [[w, run["weights_sha"][:16], f"{run['wall_s']:.2f}s",
+          f"{result['sharding_wall_s'][w]:.2f}s"]
+         for w, run in sorted(result["async_by_workers"].items(),
+                              key=lambda kv: int(kv[0]))])
+    print(f"simulated speedup: {result['simulated_speedup']:.1f}x  "
+          f"target acc: {result['target_accuracy']:.3f}  "
+          f"sharding wall speedup@max workers: "
+          f"{result['sharding_speedup_at_max_workers']:.2f}x")
+    save_result("bench_federated_async", result)
+
+    claims = result["claims"]
+    assert claims["fleet_scale"], cfg["n_clients"]
+    assert claims["reached_lockstep_accuracy"], (
+        asy["final_accuracy"], result["target_accuracy"])
+    assert claims["simulated_speedup_ok"], (
+        result["simulated_speedup"], SIM_SPEEDUP_TARGET)
+    assert claims["identical_across_workers"], result["async_by_workers"]

@@ -21,11 +21,12 @@ writing any code:
   (``MICRO_BENCHES``), ``--serving`` appends the serving-throughput
   benches (``SERVING_BENCHES``), and ``--fleet`` appends the
   fleet-scaling benches (``FLEET_BENCHES``), ``--compile`` appends
-  the compile-stage benches (``COMPILE_BENCHES``), and ``--control``
-  appends the control-adaptation benches (``CONTROL_BENCHES``);
-  ``--help-names`` lists every registered name with its
-  ``[default]``/``[micro]``/``[serving]``/``[fleet]``/``[compile]``/
-  ``[control]`` tag;
+  the compile-stage benches (``COMPILE_BENCHES``), ``--control``
+  appends the control-adaptation benches (``CONTROL_BENCHES``), and
+  ``--federated`` appends the fleet-scale federated benches
+  (``FEDERATED_BENCHES``); ``--help-names`` lists every registered
+  name with its ``[default]``/``[micro]``/``[serving]``/``[fleet]``/
+  ``[compile]``/``[control]``/``[federated]`` tag;
 * ``serve-bench``       — run the micro-batched serving benchmark (N
   concurrent loops sharing one :class:`repro.serve.BatchedService`)
   and print the serial-vs-batched comparison; ``--smoke`` runs the
@@ -53,6 +54,16 @@ writing any code:
   the payload is bit-reproducible.  Exit codes: 0 = the adaptive
   policy matches the best static config's accuracy at no more than
   its energy and actually reconfigured; 1 = a frontier check failed;
+* ``fed-bench``         — run the fleet-scale asynchronous federated
+  benchmark (sampled synchronous FedAvg vs buffered staleness-weighted
+  aggregation over an identical 10^3-client heterogeneous fleet, plus
+  a 1/2/4-worker determinism sweep); ``--smoke`` runs the
+  seconds-scale 128-client CI variant and ``--clients`` overrides the
+  fleet size.  Exit codes: 0 = async reaches the lockstep accuracy on
+  the same update budget, needs >=2x less simulated fleet time, and
+  produces byte-identical payloads under every worker count; 1 = an
+  accuracy/speedup/determinism claim failed (the *wall-clock* sharding
+  multiple is reported but never gates);
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
@@ -566,6 +577,66 @@ def _run_control_bench(smoke: bool, out: str, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _run_fed_bench(smoke: bool, clients, out: str, as_json: bool) -> int:
+    from dataclasses import replace
+
+    from repro.federated import (FederatedBenchConfig,
+                                 run_federated_async_benchmark)
+
+    config = (FederatedBenchConfig.smoke() if smoke
+              else FederatedBenchConfig())
+    if clients is not None:
+        config = replace(config, n_clients=clients)
+    result = run_federated_async_benchmark(config)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write federated artifact: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote federated results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        cfg = result["config"]
+        lock, asy = result["lockstep"], result["async"]
+        print(f"federated async ({'smoke' if smoke else 'full'}): "
+              f"{cfg['n_clients']} clients, cohort {result['cohort']}, "
+              f"budget {result['update_budget']} updates")
+        print(f"  lockstep  acc {lock['final_accuracy']:.3f} in "
+              f"{lock['virtual_s']:.1f}s virtual "
+              f"({lock['updates']} updates)")
+        print(f"  async     acc {asy['final_accuracy']:.3f} in "
+              f"{asy['virtual_s']:.1f}s virtual "
+              f"({asy['updates']} updates, staleness mean "
+              f"{asy['staleness_mean']:.2f} max {asy['staleness_max']})")
+        print(f"  simulated speedup {result['simulated_speedup']:.1f}x, "
+              f"identical across workers "
+              f"{sorted(result['async_by_workers'])}: "
+              f"{result['claims']['identical_across_workers']}")
+        print(f"  sharding wall speedup @{max(cfg['worker_counts'])} "
+              f"workers: {result['sharding_speedup_at_max_workers']:.2f}x "
+              "(informational)")
+    claims = result["claims"]
+    ok = (claims["reached_lockstep_accuracy"]
+          and claims["simulated_speedup_ok"]
+          and claims["identical_across_workers"])
+    if not smoke and clients is None:
+        ok = ok and claims["fleet_scale"]
+    if not ok:
+        print("fed-bench FAILED: "
+              f"reached_lockstep_accuracy="
+              f"{claims['reached_lockstep_accuracy']} "
+              f"simulated_speedup={result['simulated_speedup']:.2f}x "
+              f"identical_across_workers="
+              f"{claims['identical_across_workers']}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -649,10 +720,15 @@ def main(argv=None) -> int:
                        help="include the control-adaptation suite "
                             "(CONTROL_BENCHES: alone when no names are "
                             "given, appended otherwise)")
+    bench.add_argument("--federated", action="store_true",
+                       dest="federated_suite",
+                       help="include the fleet-scale federated suite "
+                            "(FEDERATED_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names with their "
                             "[default]/[micro]/[serving]/[fleet]/"
-                            "[compile]/[control] tags and exit")
+                            "[compile]/[control]/[federated] tags and exit")
     serve = sub.add_parser(
         "serve-bench",
         help="run the micro-batched serving benchmark (serial vs "
@@ -706,6 +782,22 @@ def main(argv=None) -> int:
                            help="write the full results JSON here")
     control_p.add_argument("--json", action="store_true",
                            help="emit the full results JSON on stdout")
+    fed = sub.add_parser(
+        "fed-bench",
+        help="run the fleet-scale async federated benchmark (lockstep "
+             "vs staleness-weighted async over an identical 10^3-client "
+             "fleet + worker-count determinism sweep); exits 1 if an "
+             "accuracy/speedup/determinism claim fails")
+    fed.add_argument("--smoke", action="store_true",
+                     help="seconds-scale CI variant (128 clients, "
+                          "shorter sweeps)")
+    fed.add_argument("--clients", type=int, default=None,
+                     help="override the fleet size (default: 128 smoke, "
+                          "1000 full)")
+    fed.add_argument("--out", default="",
+                     help="write the full results JSON here")
+    fed.add_argument("--json", action="store_true",
+                     help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk artifact cache "
@@ -767,8 +859,8 @@ def main(argv=None) -> int:
         if args.help_names:
             from repro.runtime import (BENCHES, COMPILE_BENCHES,
                                        CONTROL_BENCHES, DEFAULT_BENCHES,
-                                       FLEET_BENCHES, MICRO_BENCHES,
-                                       SERVING_BENCHES)
+                                       FEDERATED_BENCHES, FLEET_BENCHES,
+                                       MICRO_BENCHES, SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
@@ -781,6 +873,8 @@ def main(argv=None) -> int:
                     tag = "  [compile]"
                 if name in CONTROL_BENCHES:
                     tag = "  [control]"
+                if name in FEDERATED_BENCHES:
+                    tag = "  [federated]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
@@ -799,6 +893,9 @@ def main(argv=None) -> int:
         if args.control_suite:
             from repro.runtime import CONTROL_BENCHES
             names.extend(n for n in CONTROL_BENCHES if n not in names)
+        if args.federated_suite:
+            from repro.runtime import FEDERATED_BENCHES
+            names.extend(n for n in FEDERATED_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
     if args.command == "serve-bench":
         return _run_serve_bench(args.smoke, args.out, args.json)
@@ -809,6 +906,8 @@ def main(argv=None) -> int:
         return _run_compile_bench(args.smoke, args.out, args.json)
     if args.command == "control-bench":
         return _run_control_bench(args.smoke, args.out, args.json)
+    if args.command == "fed-bench":
+        return _run_fed_bench(args.smoke, args.clients, args.out, args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

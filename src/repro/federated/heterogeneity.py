@@ -7,13 +7,13 @@ instances and samplers for building heterogeneous client populations.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..hardware.latency import HardwareProfile
 
-__all__ = ["PROFILE_TIERS", "make_fleet"]
+__all__ = ["PROFILE_TIERS", "UPLINK_MBPS", "make_fleet", "uplink_mbps"]
 
 # Named device tiers spanning the edge spectrum.  ``memory_mb`` is the
 # budget *available to the FL task* (after OS, task stacks, and other
@@ -36,6 +36,31 @@ PROFILE_TIERS = {
                            memory_mb=0.006, energy_budget_mj=2.0,
                            parallel_lanes=1),
 }
+
+
+# Sustained uplink throughput by device tier (Mbps).  The spread is the
+# point: a server-class box pushes a model update in microseconds over
+# wired backhaul while an MCU on a LoRa/NB-IoT-class link takes seconds
+# for the same payload — which is exactly why a synchronous round's
+# barrier is priced by its slowest participant and why the async
+# simulation (:mod:`repro.federated.async_sim`) schedules each client at
+# its own simulated timestamp.
+UPLINK_MBPS: Dict[str, float] = {
+    "server": 1000.0,
+    "workstation": 300.0,
+    "jetson": 20.0,
+    "phone": 5.0,
+    "mcu": 0.05,
+}
+
+
+def uplink_mbps(profile: Union[HardwareProfile, str]) -> float:
+    """Uplink throughput for a device tier (by profile or tier name)."""
+    name = profile.name if isinstance(profile, HardwareProfile) else profile
+    if name not in UPLINK_MBPS:
+        raise ValueError(f"no uplink model for tier {name!r}; known tiers: "
+                         f"{sorted(UPLINK_MBPS)}")
+    return UPLINK_MBPS[name]
 
 
 def make_fleet(n_clients: int, tiers: Optional[List[str]] = None,

@@ -30,9 +30,43 @@ from .client import FLClient, make_client_model, model_macs_per_sample, train_cl
 from .dcnas import merge_subnetwork, select_hidden_width, slice_weights
 from .halo import PrecisionSelector
 
-__all__ = ["RoundSummary", "FLServer", "MODES"]
+__all__ = ["RoundSummary", "FLServer", "MODES", "client_plan",
+           "payload_bytes"]
 
 MODES = ("fedavg", "dcnas", "halo", "dcnas+halo")
+
+
+def client_plan(client: FLClient, mode: str, global_weights,
+                input_dim: int, n_classes: int, full_hidden: int,
+                local_epochs: int, selector: PrecisionSelector):
+    """(hidden width, precision) for one client under a federated mode.
+
+    Shared by the synchronous :class:`FLServer` rounds and the
+    asynchronous engine (:mod:`repro.federated.async_sim`): the plan
+    depends only on the client's hardware profile, the mode, and the
+    current global weights, so both schedulers price a dispatch the
+    same way.
+    """
+    if mode in ("dcnas", "dcnas+halo"):
+        hidden_used = select_hidden_width(client.profile, input_dim,
+                                          n_classes, full_hidden)
+    else:
+        hidden_used = full_hidden
+    if mode in ("halo", "dcnas+halo"):
+        macs = (3 * model_macs_per_sample(input_dim, hidden_used, n_classes)
+                * len(client.data) * local_epochs)
+        weights = slice_weights(global_weights, hidden_used)
+        precision = selector.select([weights[0], weights[2]],
+                                    client.profile, macs)
+    else:
+        precision = PrecisionConfig.full_precision()
+    return hidden_used, precision
+
+
+def payload_bytes(weights: Sequence[np.ndarray], weight_bits: int) -> float:
+    """Wire size of one model payload at the given precision."""
+    n_params = sum(w.size for w in weights)
+    return n_params * weight_bits / 8.0
 
 
 @dataclass
@@ -83,23 +117,9 @@ class FLServer:
     # -------------------------------------------------------------- helpers
     def _client_plan(self, client: FLClient):
         """(hidden width, precision) for this client under the mode."""
-        input_dim = self.test_data.dim
-        n_classes = self.test_data.n_classes
-        if self.mode in ("dcnas", "dcnas+halo"):
-            hidden_used = select_hidden_width(client.profile, input_dim,
-                                              n_classes, self.hidden)
-        else:
-            hidden_used = self.hidden
-        if self.mode in ("halo", "dcnas+halo"):
-            macs = (3 * model_macs_per_sample(input_dim, hidden_used,
-                                              n_classes)
-                    * len(client.data) * self.local_epochs)
-            weights = slice_weights(self.global_weights, hidden_used)
-            precision = self._selector.select(
-                [weights[0], weights[2]], client.profile, macs)
-        else:
-            precision = PrecisionConfig.full_precision()
-        return hidden_used, precision
+        return client_plan(client, self.mode, self.global_weights,
+                           self.test_data.dim, self.test_data.n_classes,
+                           self.hidden, self.local_epochs, self._selector)
 
     def evaluate(self) -> float:
         """Global-model accuracy on the held-out test set."""
@@ -115,8 +135,7 @@ class FLServer:
     def _payload_bytes(weights: Sequence[np.ndarray],
                        weight_bits: int) -> float:
         """Wire size of one model payload at the given precision."""
-        n_params = sum(w.size for w in weights)
-        return n_params * weight_bits / 8.0
+        return payload_bytes(weights, weight_bits)
 
     def run_round(self, pool=None) -> RoundSummary:
         """One full round: plan -> broadcast -> local train -> aggregate.

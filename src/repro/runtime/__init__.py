@@ -12,8 +12,8 @@ sees the speedup.
 """
 
 from .bench import (BENCHES, COMPILE_BENCHES, CONTROL_BENCHES,
-                    DEFAULT_BENCHES, FLEET_BENCHES, MICRO_BENCHES,
-                    SERVING_BENCHES,
+                    DEFAULT_BENCHES, FEDERATED_BENCHES, FLEET_BENCHES,
+                    MICRO_BENCHES, SERVING_BENCHES,
                     run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
@@ -27,7 +27,13 @@ from .cache import (
     resolve_cache,
 )
 from .pool import TaskFailure, WorkerError, WorkerPool, resolve_workers
-from .seeding import assert_private_rngs, spawn_rngs, spawn_seeds
+from .seeding import (
+    SEED_AUDIT_MIN,
+    SeedCollisionError,
+    assert_private_rngs,
+    spawn_rngs,
+    spawn_seeds,
+)
 
 __all__ = [
     "WorkerPool", "TaskFailure", "WorkerError", "resolve_workers",
@@ -35,7 +41,8 @@ __all__ = [
     "cached_fit", "cached_build", "fingerprint",
     "CACHE_DIR_ENV", "CACHE_ENV",
     "spawn_seeds", "spawn_rngs", "assert_private_rngs",
+    "SEED_AUDIT_MIN", "SeedCollisionError",
     "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
     "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
-    "run_bench", "run_suite",
+    "FEDERATED_BENCHES", "run_bench", "run_suite",
 ]

@@ -27,7 +27,7 @@ from .pool import WorkerPool
 
 __all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
            "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
-           "run_bench", "run_suite"]
+           "FEDERATED_BENCHES", "run_bench", "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -64,6 +64,7 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "compile_stages": ("bench_compile", "run_compile_stages"),
     "control_adaptation": ("bench_control_adaptation",
                            "run_control_adaptation"),
+    "federated_async": ("bench_federated_async", "run_federated_async"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -98,6 +99,12 @@ COMPILE_BENCHES: Tuple[str, ...] = ("compile_stages",)
 # payload (not just the results subtree) is bit-identical across runs
 # and hosts; the regression gate diffs it byte-for-byte.
 CONTROL_BENCHES: Tuple[str, ...] = ("control_adaptation",)
+
+# Federated fleet benchmarks (``repro bench --federated`` / ``repro
+# fed-bench``).  The async arm spawns its own worker pools for the
+# cross-worker identity sweep, so like FLEET_BENCHES these must never
+# run nested inside a pool worker by default.
+FEDERATED_BENCHES: Tuple[str, ...] = ("federated_async",)
 
 
 def benchmarks_dir() -> str:

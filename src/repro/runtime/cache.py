@@ -160,11 +160,22 @@ class ArtifactCache:
 
     def load(self, kind: str, key: str) -> Optional[Any]:
         """Fetch an artifact; ``None`` on miss.  Corrupt entries are
-        deleted and reported as misses (with a ``cache_corrupt`` count)."""
+        deleted and reported as misses (with a ``cache_corrupt`` count).
+
+        Safe under concurrent writers: eviction only removes the exact
+        file (by inode) whose read failed.  Without that guard, a reader
+        tripping over a half-visible entry could race a concurrent
+        :meth:`store` — whose atomic ``os.replace`` lands a *fresh,
+        valid* artifact at the same path between the failed read and the
+        unlink — and delete the new entry (a read-modify-write on the
+        directory index that was not atomic).
+        """
         obs = get_registry()
         path = self._path(kind, key)
+        corrupt_ino = None
         try:
             with open(path, "rb") as f:
+                corrupt_ino = os.fstat(f.fileno()).st_ino
                 payload = pickle.load(f)
         except FileNotFoundError:
             obs.counter("runtime.cache_misses").inc()
@@ -173,7 +184,9 @@ class ArtifactCache:
             obs.counter("runtime.cache_corrupt").inc()
             obs.counter("runtime.cache_misses").inc()
             try:
-                os.unlink(path)
+                if (corrupt_ino is not None
+                        and os.stat(path).st_ino == corrupt_ino):
+                    os.unlink(path)
             except OSError:
                 pass
             return None

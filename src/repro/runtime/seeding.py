@@ -23,16 +23,50 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["spawn_seeds", "spawn_rngs", "assert_private_rngs"]
+__all__ = ["spawn_seeds", "spawn_rngs", "assert_private_rngs",
+           "SEED_AUDIT_MIN", "SeedCollisionError"]
+
+# Fleet-scale threshold: spawning at least this many seeds switches to
+# the full 64-bit derivation.  Below it the historical 32-bit derivation
+# is kept so every committed baseline seeded through spawn_seeds stays
+# bit-identical; above it a 32-bit space is simply too small (the
+# birthday bound gives ~1% collision odds at 10^4 draws), so fleet-scale
+# client RNGs take both words of the spawned stream.
+SEED_AUDIT_MIN = 1000
+
+
+class SeedCollisionError(RuntimeError):
+    """Two spawned seeds collided — the per-task RNG streams they seed
+    would be identical, silently correlating 'independent' tasks."""
 
 
 def spawn_seeds(base_seed: Optional[int], n: int) -> List[int]:
-    """``n`` independent 64-bit seeds derived from ``base_seed``."""
+    """``n`` independent seeds derived from ``base_seed``.
+
+    Seeds are guaranteed pairwise distinct: 32-bit values below
+    :data:`SEED_AUDIT_MIN` (compatibility with committed small-fleet
+    baselines), full 64-bit values at fleet scale, and an explicit
+    uniqueness audit either way — a collision raises
+    :class:`SeedCollisionError` instead of silently handing two
+    "independent" clients the same stream.
+    """
     if n < 0:
         raise ValueError("need a non-negative task count")
     children = np.random.SeedSequence(base_seed).spawn(n)
-    return [int(child.generate_state(2, dtype=np.uint32)[0])
-            for child in children]
+    words = [child.generate_state(2, dtype=np.uint32) for child in children]
+    if n >= SEED_AUDIT_MIN:
+        seeds = [int(w[0]) | (int(w[1]) << 32) for w in words]
+    else:
+        seeds = [int(w[0]) for w in words]
+    if len(set(seeds)) != n:
+        dupes = n - len(set(seeds))
+        raise SeedCollisionError(
+            f"spawn_seeds(base_seed={base_seed!r}, n={n}) produced "
+            f"{dupes} colliding seed(s); tasks seeded from them would "
+            "share RNG streams. Pick a different base seed, or use "
+            "spawn_rngs() (SeedSequence-backed, collision-free by "
+            "construction).")
+    return seeds
 
 
 def spawn_rngs(base_seed: Optional[int], n: int
