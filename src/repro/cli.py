@@ -24,9 +24,11 @@ writing any code:
   the compile-stage benches (``COMPILE_BENCHES``), ``--control``
   appends the control-adaptation benches (``CONTROL_BENCHES``), and
   ``--federated`` appends the fleet-scale federated benches
-  (``FEDERATED_BENCHES``); ``--help-names`` lists every registered
-  name with its ``[default]``/``[micro]``/``[serving]``/``[fleet]``/
-  ``[compile]``/``[control]``/``[federated]`` tag;
+  (``FEDERATED_BENCHES``), and ``--scenarios`` appends the scenario
+  sweep benches (``SCENARIO_BENCHES``); ``--help-names`` lists every
+  registered name with its ``[default]``/``[micro]``/``[serving]``/
+  ``[fleet]``/``[compile]``/``[control]``/``[federated]``/
+  ``[scenario]`` tag;
 * ``serve-bench``       — run the micro-batched serving benchmark (N
   concurrent loops sharing one :class:`repro.serve.BatchedService`)
   and print the serial-vs-batched comparison; ``--smoke`` runs the
@@ -64,12 +66,23 @@ writing any code:
   produces byte-identical payloads under every worker count; 1 = an
   accuracy/speedup/determinism claim failed (the *wall-clock* sharding
   multiple is reported but never gates);
+* ``scenario-bench``    — run the high-throughput scenario sweep
+  benchmark (a corruption-stack x platform x traffic grid through the
+  :mod:`repro.scenario` engine: 1/2/4-worker identity curve, cold vs
+  warm replay store, incremental grid extension, fused-vs-reference
+  corruption kernel); ``--smoke`` runs the seconds-scale CI variant,
+  ``--scenarios`` caps the grid, ``--workers`` overrides the worker
+  curve.  Exit codes: 0 = worker bit-identity, warm >= 10x cold,
+  fused-equals-reference, and incremental-only-novel all hold (plus
+  the 10^4 scale claim on uncapped full runs); 1 = a claim failed
+  (pool wall-clock scaling is reported but never gates);
 * ``cache``             — inspect (``info``) or empty (``clear``) the
   content-addressed artifact cache that memoizes generated datasets and
   pretrained R-MAE/VAE/Koopman weights;
 * ``verify``            — golden-trace differential verification: replay
-  the six golden scenarios (five paper pillars plus the
-  ``control_adaptation`` decision-trace episode) serially, pooled,
+  the seven golden scenarios (five paper pillars plus the
+  ``control_adaptation`` decision-trace episode and the
+  ``scenario_sweep`` engine trace) serially, pooled,
   cached, quantized, under both kernel backends, and compiled
   (``repro.compile`` artifacts vs
   the eager float runs), diffing each against the committed goldens
@@ -637,6 +650,76 @@ def _run_fed_bench(smoke: bool, clients, out: str, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _run_scenario_bench(smoke: bool, scenarios_cap, workers, out: str,
+                        as_json: bool) -> int:
+    from dataclasses import replace
+
+    from repro.scenario import (ScenarioBenchConfig,
+                                run_scenario_sweep_benchmark)
+
+    config = (ScenarioBenchConfig.smoke() if smoke
+              else ScenarioBenchConfig())
+    if scenarios_cap is not None:
+        config = replace(config, max_scenarios=scenarios_cap)
+    if workers is not None:
+        config = replace(config, worker_counts=tuple(workers))
+    result = run_scenario_sweep_benchmark(config)
+    if out:
+        try:
+            with open(out, "w") as f:
+                json.dump(result, f, indent=2, default=str)
+        except OSError as exc:
+            print(f"cannot write scenario artifact: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote scenario sweep results to {out}", file=sys.stderr)
+    if as_json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(f"scenario sweep ({'smoke' if smoke else 'full'}): "
+              f"{result['n_scenarios']} scenarios")
+        for row in result["worker_curve"]:
+            print(f"  workers {row['workers']}: {row['wall_s']:6.2f}s "
+                  f"({row['scenarios_per_s']:6.0f} scen/s)  "
+                  f"payload {row['payload_sha'][:16]}")
+        print(f"  identical across workers: "
+              f"{result['claims']['identical_across_workers']}  "
+              f"pool scaling {result['pool_scaling']:.2f}x "
+              "(informational)")
+        print(f"  cold {result['cold']['wall_s']:.2f}s -> warm "
+              f"{result['warm']['wall_s']:.2f}s: "
+              f"{result['warm_speedup']:.1f}x (target "
+              f"{result['warm_speedup_target']:.0f}x)")
+        inc = result["incremental"]
+        print(f"  incremental extension: executed {inc['executed']} "
+              f"(expected {inc['novel_expected']}), replayed "
+              f"{inc['replayed']}")
+        fused = result["fused"]
+        print(f"  fused corruption kernel: "
+              f"{fused['fused_speedup']:.2f}x over reference, exactly "
+              f"equal: {fused['fused_equivalent']}")
+    claims = result["claims"]
+    ok = (claims["identical_across_workers"]
+          and claims["warm_speedup_ok"]
+          and claims["fused_equivalent"]
+          and claims["incremental_only_novel"])
+    # The 10^4 scale claim only binds on uncapped full runs.
+    if not smoke and scenarios_cap is None:
+        ok = ok and claims["sweep_scale_ok"]
+    if not ok:
+        print("scenario-bench FAILED: "
+              f"identical_across_workers="
+              f"{claims['identical_across_workers']} "
+              f"warm_speedup={result['warm_speedup']:.1f}x "
+              f"fused_equivalent={claims['fused_equivalent']} "
+              f"incremental_only_novel="
+              f"{claims['incremental_only_novel']} "
+              f"sweep_scale_ok={claims['sweep_scale_ok']}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_cache(action: str, as_json: bool) -> int:
     from repro.runtime import cache_enabled, get_cache
 
@@ -725,10 +808,16 @@ def main(argv=None) -> int:
                        help="include the fleet-scale federated suite "
                             "(FEDERATED_BENCHES: alone when no names are "
                             "given, appended otherwise)")
+    bench.add_argument("--scenarios", action="store_true",
+                       dest="scenario_suite",
+                       help="include the scenario sweep suite "
+                            "(SCENARIO_BENCHES: alone when no names are "
+                            "given, appended otherwise)")
     bench.add_argument("--help-names", action="store_true",
                        help="list registered bench names with their "
                             "[default]/[micro]/[serving]/[fleet]/"
-                            "[compile]/[control]/[federated] tags and exit")
+                            "[compile]/[control]/[federated]/[scenario] "
+                            "tags and exit")
     serve = sub.add_parser(
         "serve-bench",
         help="run the micro-batched serving benchmark (serial vs "
@@ -798,6 +887,26 @@ def main(argv=None) -> int:
                      help="write the full results JSON here")
     fed.add_argument("--json", action="store_true",
                      help="emit the full results JSON on stdout")
+    scenario_p = sub.add_parser(
+        "scenario-bench",
+        help="run the high-throughput scenario sweep benchmark "
+             "(worker-identity curve, cold/warm replay store, "
+             "incremental extension, fused corruption kernel); exits 1 "
+             "if a determinism/cache/equivalence claim fails")
+    scenario_p.add_argument("--smoke", action="store_true",
+                            help="seconds-scale CI variant (reduced "
+                                 "corruption grid, single platform)")
+    scenario_p.add_argument("--scenarios", type=int, default=None,
+                            help="cap the expanded grid at N scenarios "
+                                 "(waives the 10^4 scale claim)")
+    scenario_p.add_argument("--workers", type=int, nargs="+",
+                            default=None,
+                            help="worker counts for the identity curve "
+                                 "(default: 1 2 for smoke, 1 2 4 full)")
+    scenario_p.add_argument("--out", default="",
+                            help="write the full results JSON here")
+    scenario_p.add_argument("--json", action="store_true",
+                            help="emit the full results JSON on stdout")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk artifact cache "
@@ -810,7 +919,7 @@ def main(argv=None) -> int:
         help="golden-trace differential verification (serial / pooled / "
              "cached / quantized / kernels) against tests/goldens/")
     verify.add_argument("scenarios", nargs="*",
-                        help="scenario names (default: all six scenarios)")
+                        help="scenario names (default: all seven scenarios)")
     verify.add_argument("--update-goldens", action="store_true",
                         help="re-record goldens from fresh serial runs "
                              "before verifying")
@@ -860,7 +969,8 @@ def main(argv=None) -> int:
             from repro.runtime import (BENCHES, COMPILE_BENCHES,
                                        CONTROL_BENCHES, DEFAULT_BENCHES,
                                        FEDERATED_BENCHES, FLEET_BENCHES,
-                                       MICRO_BENCHES, SERVING_BENCHES)
+                                       MICRO_BENCHES, SCENARIO_BENCHES,
+                                       SERVING_BENCHES)
             for name in sorted(BENCHES):
                 tag = "  [default]" if name in DEFAULT_BENCHES else ""
                 if name in MICRO_BENCHES:
@@ -875,6 +985,8 @@ def main(argv=None) -> int:
                     tag = "  [control]"
                 if name in FEDERATED_BENCHES:
                     tag = "  [federated]"
+                if name in SCENARIO_BENCHES:
+                    tag = "  [scenario]"
                 print(f"{name}{tag}")
             return 0
         names = list(args.names)
@@ -896,6 +1008,9 @@ def main(argv=None) -> int:
         if args.federated_suite:
             from repro.runtime import FEDERATED_BENCHES
             names.extend(n for n in FEDERATED_BENCHES if n not in names)
+        if args.scenario_suite:
+            from repro.runtime import SCENARIO_BENCHES
+            names.extend(n for n in SCENARIO_BENCHES if n not in names)
         return _run_bench(names, args.workers, args.out)
     if args.command == "serve-bench":
         return _run_serve_bench(args.smoke, args.out, args.json)
@@ -908,6 +1023,9 @@ def main(argv=None) -> int:
         return _run_control_bench(args.smoke, args.out, args.json)
     if args.command == "fed-bench":
         return _run_fed_bench(args.smoke, args.clients, args.out, args.json)
+    if args.command == "scenario-bench":
+        return _run_scenario_bench(args.smoke, args.scenarios,
+                                   args.workers, args.out, args.json)
     if args.command == "cache":
         return _run_cache(args.action, args.json)
     if args.command == "verify":

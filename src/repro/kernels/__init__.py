@@ -164,6 +164,7 @@ def kernel_timer(name: str, op: str):
 # Kernel modules register themselves on import; keep these at the bottom
 # so the registry helpers above exist when they run.
 from . import bev_scatter  # noqa: E402,F401
+from . import corruption_stack  # noqa: E402,F401
 from . import matching  # noqa: E402,F401
 from . import regret  # noqa: E402,F401
 from . import snn_bptt  # noqa: E402,F401

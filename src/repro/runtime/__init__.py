@@ -13,7 +13,7 @@ sees the speedup.
 
 from .bench import (BENCHES, COMPILE_BENCHES, CONTROL_BENCHES,
                     DEFAULT_BENCHES, FEDERATED_BENCHES, FLEET_BENCHES,
-                    MICRO_BENCHES, SERVING_BENCHES,
+                    MICRO_BENCHES, SCENARIO_BENCHES, SERVING_BENCHES,
                     run_bench, run_suite)
 from .cache import (
     CACHE_DIR_ENV,
@@ -44,5 +44,5 @@ __all__ = [
     "SEED_AUDIT_MIN", "SeedCollisionError",
     "BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
     "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
-    "FEDERATED_BENCHES", "run_bench", "run_suite",
+    "FEDERATED_BENCHES", "SCENARIO_BENCHES", "run_bench", "run_suite",
 ]

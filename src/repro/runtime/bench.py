@@ -27,7 +27,8 @@ from .pool import WorkerPool
 
 __all__ = ["BENCHES", "DEFAULT_BENCHES", "MICRO_BENCHES", "SERVING_BENCHES",
            "FLEET_BENCHES", "COMPILE_BENCHES", "CONTROL_BENCHES",
-           "FEDERATED_BENCHES", "run_bench", "run_suite"]
+           "FEDERATED_BENCHES", "SCENARIO_BENCHES", "run_bench",
+           "run_suite"]
 
 # name -> (module file under benchmarks/, run function). Every function
 # is pure and explicitly seeded; see assert in run_bench.
@@ -65,6 +66,7 @@ BENCHES: Dict[str, Tuple[str, str]] = {
     "control_adaptation": ("bench_control_adaptation",
                            "run_control_adaptation"),
     "federated_async": ("bench_federated_async", "run_federated_async"),
+    "scenario_sweep": ("bench_scenario_sweep", "run_scenario_sweep"),
 }
 
 # The fast, CI-friendly subset (seconds each, minutes total serial).
@@ -105,6 +107,12 @@ CONTROL_BENCHES: Tuple[str, ...] = ("control_adaptation",)
 # cross-worker identity sweep, so like FLEET_BENCHES these must never
 # run nested inside a pool worker by default.
 FEDERATED_BENCHES: Tuple[str, ...] = ("federated_async",)
+
+# Scenario sweep benchmarks (``repro bench --scenarios`` / ``repro
+# scenario-bench``).  The worker-identity curve spawns its own pools,
+# so like FLEET_BENCHES these must never run nested inside a pool
+# worker by default.
+SCENARIO_BENCHES: Tuple[str, ...] = ("scenario_sweep",)
 
 
 def benchmarks_dir() -> str:

@@ -11,12 +11,14 @@ from .cartpole import CartPole, CartPoleParams, DisturbanceProcess, render_obser
 from .corruptions import (
     CORRUPTIONS,
     apply_corruption,
+    apply_corruption_stack,
     beam_missing,
     corruption_names,
     cross_sensor,
     crosstalk,
     fog,
     motion_blur,
+    normalize_stack,
     rain,
     snow,
 )
@@ -30,7 +32,8 @@ __all__ = [
     "CLASS_NAMES", "CLASS_DIMENSIONS", "Scene", "SceneObject",
     "sample_scene", "sample_dataset",
     "LidarConfig", "LidarScan", "LidarScanner",
-    "CORRUPTIONS", "apply_corruption", "corruption_names",
+    "CORRUPTIONS", "apply_corruption", "apply_corruption_stack",
+    "normalize_stack", "corruption_names",
     "snow", "rain", "fog", "beam_missing", "motion_blur", "crosstalk",
     "cross_sensor",
     "CartPole", "CartPoleParams", "DisturbanceProcess", "render_observation",

@@ -15,17 +15,34 @@ a pure function ``scan -> corrupted scan`` with a ``severity`` knob in
 * **crosstalk** — a fraction of returns replaced by echoes at wrong
   ranges (inter-channel leakage inside the unit);
 * **cross_sensor** — periodic ghost returns from another LiDAR's pulses.
+
+RNG contract: every corruption requires an *explicit*
+``numpy.random.Generator``.  The historical ``rng=None ->
+default_rng(0)`` fallback silently handed every stage of a sweep the
+same stream (and made "independent" scenarios correlated), so it now
+fails loudly instead.  Severity handling is normalized in one place:
+:func:`apply_corruption` / :func:`apply_corruption_stack` clip to
+[0, 1], and severity 0.0 is a guaranteed *exact identity* — fresh
+arrays, bit-equal values, zero RNG draws — for every corruption.
+
+:func:`apply_corruption_stack` composes several corruptions in one call
+through the two-backend ``corruption_stack`` kernel
+(:mod:`repro.kernels.corruption_stack`): the ``reference`` backend is
+the per-stage composition of the functions below, the ``vectorized``
+backend fuses the whole stack into a single traversal over the scan —
+differentially tested to be bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .lidar import LidarScan
 
-__all__ = ["CORRUPTIONS", "apply_corruption", "corruption_names",
+__all__ = ["CORRUPTIONS", "apply_corruption", "apply_corruption_stack",
+           "normalize_stack", "corruption_names",
            "snow", "rain", "fog", "beam_missing", "motion_blur",
            "crosstalk", "cross_sensor"]
 
@@ -34,6 +51,23 @@ def _copy(scan: LidarScan, points, labels, beams, ranges) -> LidarScan:
     return LidarScan(points=points, labels=labels, beam_ids=beams,
                      fired_mask=scan.fired_mask.copy(), ranges=ranges,
                      config=scan.config)
+
+
+def _identity(scan: LidarScan) -> LidarScan:
+    """An exact copy: bit-equal arrays, no aliasing, no RNG draws."""
+    return _copy(scan, scan.points.copy(), scan.labels.copy(),
+                 scan.beam_ids.copy(), scan.ranges.copy())
+
+
+def _require_rng(rng: Optional[np.random.Generator],
+                 name: str) -> np.random.Generator:
+    if rng is None:
+        raise ValueError(
+            f"corruption {name!r} requires an explicit rng "
+            "(e.g. rng=np.random.default_rng(seed)); the old implicit "
+            "default_rng(0) fallback gave every stage of a sweep the "
+            "same stream and is no longer supported")
+    return rng
 
 
 def _drop(scan: LidarScan, keep: np.ndarray) -> tuple:
@@ -56,8 +90,10 @@ def _add_spurious(scan_pts, scan_lbl, scan_beam, scan_rng, new_pts,
 def snow(scan: LidarScan, severity: float = 0.5,
          rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Snowfall: dense near-range backscatter + dropout of true returns."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "snow")
     keep = rng.random(scan.num_points) > 0.35 * severity
     pts, lbl, beam, rngs = _drop(scan, keep)
     n_flakes = int(severity * max(scan.num_points, 40) * 0.8)
@@ -75,8 +111,10 @@ def snow(scan: LidarScan, severity: float = 0.5,
 def rain(scan: LidarScan, severity: float = 0.5,
          rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Rain: lighter backscatter than snow, intensity attenuation."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "rain")
     keep = rng.random(scan.num_points) > 0.2 * severity
     pts, lbl, beam, rngs = _drop(scan, keep)
     pts = pts.copy()
@@ -95,10 +133,12 @@ def rain(scan: LidarScan, severity: float = 0.5,
 def fog(scan: LidarScan, severity: float = 0.5,
         rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Fog: extinction — dropout probability grows with range."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "fog")
     if scan.num_points == 0:
-        return _copy(scan, scan.points, scan.labels, scan.beam_ids, scan.ranges)
+        return _identity(scan)
     # Beer-Lambert extinction: survival = exp(-2 * sigma * R).
     sigma = 0.03 * severity
     survival = np.exp(-2.0 * sigma * scan.ranges)
@@ -115,8 +155,10 @@ def fog(scan: LidarScan, severity: float = 0.5,
 def beam_missing(scan: LidarScan, severity: float = 0.5,
                  rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Whole elevation rows drop out (blocked/failed emitters)."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "beam_missing")
     n_el = scan.config.n_elevation
     n_dead = int(round(severity * n_el * 0.6))
     dead_rows = set(rng.choice(n_el, size=min(n_dead, n_el), replace=False).tolist())
@@ -129,8 +171,10 @@ def beam_missing(scan: LidarScan, severity: float = 0.5,
 def motion_blur(scan: LidarScan, severity: float = 0.5,
                 rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Ego-motion smear: tangential displacement growing with range."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "motion_blur")
     pts = scan.points.copy()
     if pts.size:
         az = np.arctan2(pts[:, 1], pts[:, 0])
@@ -144,8 +188,10 @@ def motion_blur(scan: LidarScan, severity: float = 0.5,
 def crosstalk(scan: LidarScan, severity: float = 0.5,
               rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Inter-channel leakage: returns teleport to wrong ranges."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "crosstalk")
     pts = scan.points.copy()
     rngs = scan.ranges.copy()
     lbl = scan.labels.copy()
@@ -166,8 +212,10 @@ def crosstalk(scan: LidarScan, severity: float = 0.5,
 def cross_sensor(scan: LidarScan, severity: float = 0.5,
                  rng: Optional[np.random.Generator] = None) -> LidarScan:
     """Interference from another LiDAR: periodic ghost-return arcs."""
-    rng = rng if rng is not None else np.random.default_rng(0)
-    severity = float(np.clip(severity, 0.0, 1.0))
+    severity = float(severity)
+    if severity <= 0.0:
+        return _identity(scan)
+    rng = _require_rng(rng, "cross_sensor")
     n_ghost = int(severity * 120)
     phase = rng.uniform(0, 2 * np.pi)
     az = phase + np.linspace(0, np.pi, max(n_ghost, 1))
@@ -196,10 +244,100 @@ def corruption_names() -> List[str]:
     return list(CORRUPTIONS.keys())
 
 
+def _clip_severity(severity: float) -> float:
+    return float(np.clip(float(severity), 0.0, 1.0))
+
+
 def apply_corruption(scan: LidarScan, name: str, severity: float = 0.5,
                      rng: Optional[np.random.Generator] = None) -> LidarScan:
-    """Apply the named corruption at the given severity."""
+    """Apply the named corruption at the given severity.
+
+    Severity is clipped to [0, 1] here (the single normalization point);
+    severity 0.0 short-circuits to an exact identity copy without
+    touching (or requiring) ``rng``.  Unknown names raise ``ValueError``
+    listing the valid choices; a missing ``rng`` raises ``ValueError``
+    rather than falling back to a shared default generator.
+    """
     if name not in CORRUPTIONS:
-        raise KeyError(f"unknown corruption {name!r}; "
-                       f"choose from {sorted(CORRUPTIONS)}")
-    return CORRUPTIONS[name](scan, severity=severity, rng=rng)
+        raise ValueError(
+            f"unknown corruption {name!r}; valid corruptions: "
+            f"{', '.join(sorted(CORRUPTIONS))}")
+    severity = _clip_severity(severity)
+    if severity == 0.0:
+        return _identity(scan)
+    return CORRUPTIONS[name](scan, severity=severity,
+                             rng=_require_rng(rng, name))
+
+
+def normalize_stack(stack: Sequence) -> Tuple[Tuple[str, float], ...]:
+    """Canonicalize a corruption stack to ``((name, severity), ...)``.
+
+    Accepts ``(name, severity)`` pairs or objects with ``.name`` /
+    ``.severity`` attributes (e.g. ``repro.scenario.CorruptionStage``).
+    Names are validated (``ValueError`` listing valid choices) and
+    severities clipped to [0, 1].  Severity-0 stages are *kept* — it is
+    :func:`apply_corruption_stack` that filters them, so both kernel
+    backends see an identical post-filter stage list.
+    """
+    stages: List[Tuple[str, float]] = []
+    for stage in stack:
+        if hasattr(stage, "name") and hasattr(stage, "severity"):
+            name, severity = stage.name, stage.severity
+        else:
+            name, severity = stage
+        if name not in CORRUPTIONS:
+            raise ValueError(
+                f"unknown corruption {name!r} in stack; valid "
+                f"corruptions: {', '.join(sorted(CORRUPTIONS))}")
+        stages.append((str(name), _clip_severity(severity)))
+    return tuple(stages)
+
+
+def apply_corruption_stack(scan: LidarScan, stack: Sequence,
+                           rngs: Optional[Sequence] = None,
+                           seed: Optional[int] = None) -> LidarScan:
+    """Compose a stack of corruptions through the two-backend kernel.
+
+    ``stack`` is a sequence of ``(name, severity)`` pairs (or stage
+    objects, see :func:`normalize_stack`); ``rngs`` must supply one
+    *private* generator per stage (aliased generators are rejected via
+    :func:`repro.runtime.assert_private_rngs`).  Alternatively pass
+    ``seed`` to derive the per-stage streams with
+    :func:`repro.runtime.spawn_rngs`.  Severity-0 stages are filtered
+    out (each is an exact identity, so skipping them is semantics-free)
+    together with their generators, keeping the RNG stream consumption
+    of both backends identical.
+
+    Dispatches to the ``corruption_stack`` kernel: ``reference`` is the
+    sequential per-stage composition, ``vectorized`` a fused single-pass
+    applicator — bit-identical by construction and differentially
+    verified.
+    """
+    from ..kernels import get_kernel, kernel_timer
+    from ..runtime.seeding import assert_private_rngs, spawn_rngs
+
+    stages = normalize_stack(stack)
+    if rngs is None:
+        if seed is None:
+            raise ValueError(
+                "apply_corruption_stack needs per-stage rngs (one "
+                "private Generator per stage) or a seed to derive them "
+                "from; implicit shared defaults are not supported")
+        rngs = spawn_rngs(seed, len(stages))
+    rngs = list(rngs)
+    if len(rngs) != len(stages):
+        raise ValueError(
+            f"stack has {len(stages)} stage(s) but {len(rngs)} rng(s) "
+            "were supplied; pass exactly one private generator per stage")
+    assert_private_rngs(rngs, owners=[name for name, _ in stages])
+    live = [(stage, rng) for stage, rng in zip(stages, rngs)
+            if stage[1] > 0.0]
+    if not live:
+        return _identity(scan)
+    live_stages = tuple(stage for stage, _ in live)
+    live_rngs = [rng if rng is not None
+                 else _require_rng(None, stage[0])
+                 for stage, rng in live]
+    kernel = get_kernel("corruption_stack")
+    with kernel_timer("corruption_stack", "apply"):
+        return kernel.apply(scan, live_stages, live_rngs)

@@ -1,4 +1,4 @@
-"""The six golden-trace scenarios — one end-to-end run per pillar.
+"""The seven golden-trace scenarios — one end-to-end run per pillar.
 
 Each scenario is a *fully seeded* miniature of one paper pillar,
 recording its intermediate tensors and metrics into a
@@ -21,7 +21,13 @@ recording its intermediate tensors and metrics into a
   decision trace (rule, actuator, old -> new, context snapshot).  The
   episode is purely analytic (no kernel-dispatched numerics) and never
   touches process-wide overrides, so its trace is bit-identical across
-  kernel backends and all three variants.
+  kernel backends and all three variants;
+* ``scenario_sweep`` — a corruption-stack sweep through the
+  :mod:`repro.scenario` engine (Sec. V at sweep scale): grid expansion,
+  content-addressed replay against a temp store, fused stack
+  application.  Content-derived seeding plus the bit-identical fused
+  kernel make the whole trace — metric matrix, content-address keys,
+  payload hash — exact under every check.
 
 Every scenario supports three variants: ``float`` (the golden
 reference), ``quantized`` (identical training, then all learned
@@ -504,6 +510,63 @@ _CONTROL_TOLERANCES = {
 }
 
 
+def _scenario_sweep(rec: TraceRecorder, variant: str, pool=None) -> None:
+    """A miniature corruption-stack sweep through the full scenario
+    engine: grid expansion, content-addressed replay against a fresh
+    temp store, and stack application via the two-backend
+    ``corruption_stack`` kernel (fused by default, *bit-identical* to
+    the per-stage reference — so this trace declares zero kernel
+    drift).  Severity-0 stages are included deliberately: their exact-
+    identity filtering is part of the contract under test.  Runs the
+    engine at one worker internally (the pooled differential already
+    executes the whole scenario inside a worker process; ``workers=1``
+    never forks), and nothing host-specific — no paths, no wall-clock
+    — is recorded."""
+    import shutil
+    import tempfile
+
+    from ..scenario import ReplayStore, SweepPlan, run_sweep, stack_grid
+
+    stacks = stack_grid(("snow", "fog", "crosstalk"),
+                        (0.0, 0.5, 1.0), depth=2)
+    plan = SweepPlan(stacks=tuple(stacks), platforms=("vehicle",),
+                     traffics=("urban",), seeds=(0,),
+                     evaluator="scan_stats")
+    tmp = tempfile.mkdtemp(prefix="repro-golden-sweep-")
+    try:
+        store = ReplayStore(tmp)
+        cold = run_sweep(plan, workers=1, store=store)
+        warm = run_sweep(plan, workers=1, store=store)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    metric_names = sorted(cold.metrics[0])
+    matrix = np.array([[row[name] for name in metric_names]
+                       for row in cold.metrics])
+    rec.add("sweep",
+            n_scenarios=cold.count,
+            keys=list(cold.keys),
+            metric_names=metric_names,
+            metrics=matrix,
+            executed=cold.executed,
+            replayed=cold.replayed,
+            payload_sha=cold.payload_sha())
+    rec.add("replay",
+            executed=warm.executed,
+            replayed=warm.replayed,
+            warm_matches_cold=bool(
+                warm.payload_sha() == cold.payload_sha()))
+
+
+# The sweep is deterministic end to end — content-derived seeds, exact
+# replay, bit-identical fused kernel — so every field (including the
+# content-address keys and payload hash) must reproduce bit-for-bit;
+# only the shared counter slack is declared.
+_SCENARIO_SWEEP_TOLERANCES = {
+    "telemetry/counters/*": {"atol": 16, "rtol": 0.05},
+}
+
+
 ScenarioFn = Callable[[TraceRecorder, str, Optional[object]], None]
 
 SCENARIOS: Dict[str, tuple] = {
@@ -513,6 +576,7 @@ SCENARIOS: Dict[str, tuple] = {
     "snn_flow": (_snn_flow, _SNN_TOLERANCES),
     "federated_round": (_federated_round, _FEDERATED_TOLERANCES),
     "control_adaptation": (_control_adaptation, _CONTROL_TOLERANCES),
+    "scenario_sweep": (_scenario_sweep, _SCENARIO_SWEEP_TOLERANCES),
 }
 
 # Extra per-field tolerances applied ONLY when a vectorized-backend run
@@ -547,6 +611,9 @@ KERNEL_DRIFT_TOLERANCES: Dict[str, Dict[str, Dict[str, float]]] = {
     "federated_round": {},
     # Analytic loop, no kernel dispatch: zero drift by construction.
     "control_adaptation": {},
+    # The fused corruption stack is bit-identical to the reference by
+    # construction (same draws, same ufuncs, same order): zero drift.
+    "scenario_sweep": {},
 }
 
 
@@ -571,6 +638,9 @@ COMPILED_DRIFT_TOLERANCES: Dict[str, Dict[str, Dict[str, float]]] = {
     "snn_flow": {},
     "federated_round": {},
     "control_adaptation": {},
+    # No model, no compiled path: the compiled variant runs the same
+    # sweep and must match bit-for-bit.
+    "scenario_sweep": {},
 }
 
 

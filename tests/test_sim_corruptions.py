@@ -29,17 +29,33 @@ def test_corruption_registry_complete():
 
 
 def test_apply_corruption_unknown_name():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="valid corruptions"):
         apply_corruption(SCAN, "solar_flare")
 
 
+def test_apply_corruption_requires_rng():
+    """No silent fallback to a shared default generator."""
+    with pytest.raises(ValueError, match="explicit rng"):
+        apply_corruption(SCAN, "snow", severity=0.5)
+
+
 @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
-def test_zero_severity_is_mild(name):
-    """At severity 0 the corruption barely changes the scan."""
+def test_zero_severity_is_exact_identity(name):
+    """Severity 0 is a guaranteed exact identity (fresh arrays, bit-equal)."""
     out = apply_corruption(SCAN, name, severity=0.0,
                            rng=np.random.default_rng(1))
-    # No points removed or added beyond rounding effects.
-    assert abs(out.num_points - SCAN.num_points) <= 1
+    assert out.points is not SCAN.points
+    np.testing.assert_array_equal(out.points, SCAN.points)
+    np.testing.assert_array_equal(out.labels, SCAN.labels)
+    np.testing.assert_array_equal(out.beam_ids, SCAN.beam_ids)
+    np.testing.assert_array_equal(out.ranges, SCAN.ranges)
+    np.testing.assert_array_equal(out.fired_mask, SCAN.fired_mask)
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_zero_severity_needs_no_rng(name):
+    out = apply_corruption(SCAN, name, severity=0.0)
+    np.testing.assert_array_equal(out.points, SCAN.points)
 
 
 @pytest.mark.parametrize("name", sorted(CORRUPTIONS))

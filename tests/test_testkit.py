@@ -269,7 +269,8 @@ def test_scenario_registry_shape():
     assert set(scenario_names()) == {"rmae_detect", "koopman_lqr",
                                      "starnet_monitor", "snn_flow",
                                      "federated_round",
-                                     "control_adaptation"}
+                                     "control_adaptation",
+                                     "scenario_sweep"}
     assert CHECKS == ("serial", "pooled", "cache", "quantized", "kernels",
                       "compiled")
 
